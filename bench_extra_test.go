@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/ldprand"
+	"repro/internal/marginal"
+	"repro/internal/secagg"
+	"repro/internal/spatial"
+	"repro/internal/workload"
+)
+
+// BenchmarkSecAggMask measures one participant's masking cost as the
+// cohort grows (O(n) keyed derivations per client).
+func BenchmarkSecAggMask(b *testing.B) {
+	session := []byte("bench-session")
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		b.Run(benchName("n", n), func(b *testing.B) {
+			c, err := secagg.NewClient(0, n, session)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.Mask(1.5)
+			}
+		})
+	}
+}
+
+// BenchmarkItemsetCollect measures a padded-and-sampled set report.
+func BenchmarkItemsetCollect(b *testing.B) {
+	c, err := itemset.NewCollector(itemset.Params{Epsilon: 2, Domain: 256, PadLen: 4},
+		ldprand.NewSplitMix64(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := []int{3, 47, 91}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Collect(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarginalFourier measures one Fourier-coefficient report and
+// one marginal reconstruction.
+func BenchmarkMarginalFourier(b *testing.B) {
+	f, err := marginal.NewFourier(marginal.FourierParams{Epsilon: 1, D: 12, K: 2},
+		ldprand.NewSplitMix64(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Collect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Collect(i % (1 << 12))
+		}
+	})
+	b.Run("Marginal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Marginal(0b11); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuadtreeRangeCount measures a consistent multi-level range
+// query (includes the two consistency passes).
+func BenchmarkQuadtreeRangeCount(b *testing.B) {
+	src := ldprand.NewSplitMix64(2)
+	qt, err := spatial.NewQuadtree(2, 5, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range workload.Locations(src, workload.DefaultCityClusters(), 5000) {
+		qt.Collect(p)
+	}
+	q := spatial.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.6, MaxY: 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qt.RangeCount(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

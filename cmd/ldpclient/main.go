@@ -1,0 +1,93 @@
+// Command ldpclient is the user-side half of the collection pipeline:
+// it reads integer values (one per line) from stdin, privatizes each
+// one locally with crypto/rand randomness, and POSTs the randomized
+// envelopes to an ldpd server. Raw values never leave the process.
+//
+// Usage:
+//
+//	seq 0 99 | ldpclient -server http://localhost:8080 -mechanism OLH -epsilon 1 -domain 128
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "http://localhost:8080", "ldpd base URL")
+		mechanism = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
+		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget per report")
+		domain    = flag.Int("domain", 128, "input domain size")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	client, err := core.NewClient(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	httpClient := &http.Client{Timeout: *timeout}
+
+	sent, failed := 0, 0
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldpclient: skipping %q: %v\n", line, err)
+			failed++
+			continue
+		}
+		env, err := client.Report(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
+			failed++
+			continue
+		}
+		if err := post(httpClient, *server+"/report", env); err != nil {
+			fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
+			failed++
+			continue
+		}
+		sent++
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ldpclient: stdin:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ldpclient: sent %d reports (%d failed) via %s ε=%g\n", sent, failed, *mechanism, *epsilon)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func post(c *http.Client, url string, env core.Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Command ldpd runs an LDP aggregation server: clients POST privatized
+// report envelopes to /report, and analysts read debiased estimates
+// from /estimate (the raw values never leave the clients).
+//
+// Usage:
+//
+//	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128
+//
+// Report format (JSON), e.g. for GRR:
+//
+//	curl -X POST localhost:8080/report -d '{"mechanism":"GRR","value":3}'
+//	curl localhost:8080/estimate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		mechanism = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
+		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget per report")
+		domain    = flag.Int("domain", 128, "input domain size")
+	)
+	flag.Parse()
+
+	svc, err := core.NewService(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	log.Printf("ldpd: %s with ε=%g over domain %d, listening on %s", *mechanism, *epsilon, *domain, *addr)
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}

@@ -1,0 +1,81 @@
+// Command ldpgen emits the synthetic workloads that stand in for the
+// deployed systems' proprietary data (see the substitution table in
+// DESIGN.md), one value per line — ready to pipe into ldpclient.
+//
+// Usage:
+//
+//	ldpgen -kind zipf -n 10000 -domain 128 -s 1.1        # categorical values
+//	ldpgen -kind counters -n 10000 -max 24               # numeric telemetry
+//	ldpgen -kind locations -n 10000 -grid 16             # grid cell ids
+//	ldpgen -kind records -n 10000 -attrs 8 -p 0.4        # binary records as ints
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ldprand"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "zipf", "workload: zipf, counters, locations, records")
+		n      = flag.Int("n", 10000, "number of values")
+		domain = flag.Int("domain", 128, "zipf: domain size")
+		s      = flag.Float64("s", 1.1, "zipf: skew exponent")
+		max    = flag.Float64("max", 24, "counters: maximum value")
+		grid   = flag.Int("grid", 16, "locations: grid granularity (emits cell ids)")
+		attrs  = flag.Int("attrs", 8, "records: number of binary attributes")
+		p      = flag.Float64("p", 0.4, "records: per-attribute probability")
+		seed   = flag.Uint64("seed", 1, "deterministic seed (0 = crypto)")
+	)
+	flag.Parse()
+
+	var src ldprand.Source
+	if *seed == 0 {
+		src = ldprand.NewCrypto()
+	} else {
+		src = ldprand.NewSplitMix64(*seed)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "zipf":
+		z := workload.NewZipf(src, *s, *domain)
+		for i := 0; i < *n; i++ {
+			fmt.Fprintln(w, z.Next())
+		}
+	case "counters":
+		for _, c := range workload.Counters(src, *max, *n) {
+			fmt.Fprintf(w, "%.4f\n", c)
+		}
+	case "locations":
+		pts := workload.Locations(src, workload.DefaultCityClusters(), *n)
+		g := *grid
+		for _, pt := range pts {
+			cx, cy := int(pt.X*float64(g)), int(pt.Y*float64(g))
+			if cx >= g {
+				cx = g - 1
+			}
+			if cy >= g {
+				cy = g - 1
+			}
+			fmt.Fprintln(w, cy*g+cx)
+		}
+	case "records":
+		probs := make([]float64, *attrs)
+		for i := range probs {
+			probs[i] = *p
+		}
+		for _, r := range workload.BinaryRecords(src, probs, *n) {
+			fmt.Fprintln(w, r)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ldpgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: ask a sensitive yes/no question with Warner's randomized
+// response (tutorial §1.1). Each user flips a biased coin locally —
+// the collector never sees a truthful answer it can attribute — yet
+// the population proportion is recovered with a confidence interval.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+)
+
+func main() {
+	const (
+		epsilon = 1.0 // privacy budget per user
+		users   = 100000
+		trueP   = 0.23 // true fraction answering "yes" (unknown to the server!)
+	)
+
+	// Server side: the aggregator for randomized yes/no answers.
+	server := freq.NewBinaryRR(epsilon, nil)
+
+	// Client side: each user randomizes locally before sending.
+	population := ldprand.NewSplitMix64(1) // simulation only: who truly says yes
+	for i := 0; i < users; i++ {
+		truthful := 0
+		if ldprand.Float64(population) < trueP {
+			truthful = 1
+		}
+		// In a deployment this happens on the user's device with
+		// crypto/rand; the server receives only the randomized bit.
+		client := freq.NewBinaryRR(epsilon, nil)
+		randomized := client.Privatize(truthful)
+		server.Aggregate(randomized)
+	}
+
+	est, ci := server.EstimateProportion(0.05)
+	fmt.Printf("true proportion:      %.4f (never observed by the server)\n", trueP)
+	fmt.Printf("estimated proportion: %.4f ± %.4f (95%% CI)\n", est, ci)
+	fmt.Printf("users:                %d, epsilon: %.1f\n", users, epsilon)
+}

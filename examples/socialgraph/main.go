@@ -1,0 +1,51 @@
+// Social graph: the graph-analytics direction (tutorial §1.3). A
+// social network's degree distribution is estimated from noisy
+// per-user degrees, and a synthetic shareable graph is generated
+// without the collector ever seeing a single real edge.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ldprand"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		vertices = 1500
+		eps      = 2.0
+	)
+	sim := ldprand.NewSplitMix64(13)
+	g := workload.BarabasiAlbert(sim, vertices, 5)
+	fmt.Printf("true graph: %d vertices, %d edges, clustering %.4f\n",
+		g.N, g.Edges(), g.ClusteringCoefficient())
+
+	// Degree distribution under edge-LDP.
+	maxDeg := 0
+	for _, d := range g.Degrees() {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	noisy := graph.NoisyDegrees(eps, g, nil)
+	est := graph.DegreeDistribution(noisy, maxDeg)
+	truth := graph.TrueDegreeDistribution(g, maxDeg)
+	fmt.Printf("degree distribution KS distance at ε=%.1f: %.4f\n\n",
+		eps, stats.KSDistance(est, truth))
+
+	// Synthetic graph generation (LDPGen-style).
+	syn, err := graph.Generate(graph.GenParams{Epsilon: eps, Clusters: 6}, g, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("synthetic graph: %d vertices, %d edges, clustering %.4f\n",
+		syn.N, syn.Edges(), syn.ClusteringCoefficient())
+	fmt.Printf("synthetic degree KS vs true: %.4f\n",
+		stats.KSDistance(
+			graph.TrueDegreeDistribution(syn, maxDeg),
+			graph.TrueDegreeDistribution(g, maxDeg)))
+	fmt.Println("\nthe synthetic graph can be shared with analysts: no real edge was ever collected")
+}

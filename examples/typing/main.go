@@ -1,0 +1,54 @@
+// Typing prediction: the language-modeling direction (tutorial §1.3,
+// after McMahan et al.). Keyboards contribute one randomized bigram
+// each; the aggregator trains a next-character model that predicts
+// well on held-out text, while no raw keystroke ever leaves a device.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/langmodel"
+	"repro/internal/ldprand"
+)
+
+func main() {
+	const (
+		users = 200000
+		eps   = 2.0
+	)
+	vocabulary := []string{
+		"the", "then", "they", "there", "these", "think", "thing",
+		"queen", "quick", "quiet", "hello", "world", "would", "should",
+	}
+	sim := ldprand.NewSplitMix64(17)
+	corpus := make([]string, users)
+	for i := range corpus {
+		corpus[i] = vocabulary[ldprand.Intn(sim, len(vocabulary))]
+	}
+
+	trainer := langmodel.NewTrainer(eps, nil)
+	for _, text := range corpus {
+		if err := trainer.Contribute(text); err != nil {
+			panic(err)
+		}
+	}
+	private := trainer.Fit(0.5)
+	truth := langmodel.FitTrue(corpus, 0.5)
+
+	heldOut := make([]string, 2000)
+	for i := range heldOut {
+		heldOut[i] = vocabulary[ldprand.Intn(sim, len(vocabulary))]
+	}
+	fmt.Printf("trained on %d single-bigram reports at ε=%.1f\n\n", trainer.Contributed(), eps)
+	fmt.Printf("perplexity on held-out text: private %.2f, non-private %.2f, uniform %d\n\n",
+		private.Perplexity(heldOut), truth.Perplexity(heldOut), langmodel.AlphabetSize)
+
+	for _, ctx := range []string{"t", "q", "w", ""} {
+		pred := private.Predict(ctx, 3)
+		label := ctx
+		if label == "" {
+			label = "(word start)"
+		}
+		fmt.Printf("after %-12s predict: %c %c %c\n", label, pred[0], pred[1], pred[2])
+	}
+}

@@ -1,0 +1,157 @@
+// Cross-module integration tests: these exercise realistic pipelines
+// spanning several packages, the way a deployment would compose them —
+// budget accounting around a collection service, post-processing on
+// oracle output, and workload generators feeding system packages.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/accounting"
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+	"repro/internal/postprocess"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestPipelineWithAccountingAndPostprocessing runs the full loop: a
+// budget ledger admits daily collections until users are exhausted,
+// reports travel through the HTTP service, and the published histogram
+// is consistency-projected.
+func TestPipelineWithAccountingAndPostprocessing(t *testing.T) {
+	const (
+		totalEps = 2.0
+		days     = 4
+		users    = 3000
+		domain   = 16
+	)
+	perDay := accounting.SplitEvenly(accounting.Budget{Epsilon: totalEps}, days)
+	ledger := accounting.NewLedger(accounting.Budget{Epsilon: totalEps})
+
+	params := core.PrivacyParams{Epsilon: perDay.Epsilon, Domain: domain}
+	svc, err := core.NewService(core.MechanismOLH, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	src := ldprand.NewSplitMix64(1)
+	zipf := workload.NewZipf(src, 1.3, domain)
+	truthPerDay := make([]float64, domain)
+	for day := 0; day < days; day++ {
+		for u := 0; u < users; u++ {
+			user := fmt.Sprintf("user-%d", u)
+			if err := ledger.Charge(user, perDay); err != nil {
+				t.Fatalf("day %d user %s: %v", day, user, err)
+			}
+			client, err := core.NewClient(core.MechanismOLH, params, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := zipf.Next()
+			truthPerDay[v]++
+			env, err := client.Report(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := json.Marshal(env)
+			resp, err := http.Post(ts.URL+"/report", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	}
+
+	// A fifth collection must be rejected by the ledger: budget spent.
+	if err := ledger.Charge("user-0", perDay); err == nil {
+		t.Fatal("over-budget collection accepted")
+	}
+
+	// Fetch estimates, project to consistency, compare with truth.
+	resp, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var est core.EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	n := days * users
+	if est.Reports != n {
+		t.Fatalf("reports %d want %d", est.Reports, n)
+	}
+	published := postprocess.NormSub(est.Counts, float64(n))
+	var sum float64
+	for _, v := range published {
+		if v < 0 {
+			t.Fatalf("negative published count %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-float64(n)) > 1e-6*float64(n) {
+		t.Fatalf("published counts sum %v want %d", sum, n)
+	}
+	// ε = 0.5 per day over 16 cells with 12k reports gives per-cell
+	// σ ≈ 430, i.e. TV around 0.2; fail only well beyond that scale.
+	if tv := stats.TotalVariation(published, truthPerDay); tv > 0.35 {
+		t.Fatalf("published TV %.4f too large", tv)
+	}
+}
+
+// TestAdaptiveOracleSelection checks the E3-informed constructor picks
+// the variance winner on both sides of the crossover.
+func TestAdaptiveOracleSelection(t *testing.T) {
+	eps := 1.0
+	small := freq.NewAdaptive(eps, 4, ldprand.NewSplitMix64(1))
+	if small.Name() != "GRR" {
+		t.Errorf("d=4: picked %s want GRR", small.Name())
+	}
+	large := freq.NewAdaptive(eps, 1024, ldprand.NewSplitMix64(1))
+	if large.Name() != "OLH" {
+		t.Errorf("d=1024: picked %s want OLH", large.Name())
+	}
+	// And the pick must actually have the lower analytic variance.
+	grr := freq.NewGRR(eps, 1024, nil)
+	if large.TheoreticalVariance(1000) >= grr.TheoreticalVariance(1000) {
+		t.Error("adaptive pick is not the variance winner at d=1024")
+	}
+}
+
+// TestWorkloadFeedsAllSystems is a smoke test that every workload
+// generator composes with its consuming system package end to end.
+func TestWorkloadFeedsAllSystems(t *testing.T) {
+	src := ldprand.NewSplitMix64(2)
+	// Zipf → adaptive oracle.
+	z := workload.NewZipf(src, 1.2, 32)
+	o := freq.NewAdaptive(1, 32, src)
+	for i := 0; i < 3000; i++ {
+		o.Collect(z.Next())
+	}
+	if o.Collected() != 3000 {
+		t.Fatal("oracle lost reports")
+	}
+	est := o.EstimateCounts()
+	probs := z.Probabilities()
+	truth := make([]float64, 32)
+	for i := range truth {
+		truth[i] = probs[i] * 3000
+	}
+	// Very loose: this is a composition smoke test, not calibration.
+	if tv := stats.TotalVariation(est, truth); tv > 0.35 {
+		t.Errorf("zipf→oracle TV %.3f", tv)
+	}
+}

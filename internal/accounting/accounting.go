@@ -1,0 +1,139 @@
+// Package accounting tracks privacy budgets across repeated
+// collections. The tutorial's open-problems section (§1.4) highlights
+// that deployed LDP systems must reason about composition: sequential
+// queries on the same user add up, disjoint sub-populations compose in
+// parallel, and the (ε, δ) relaxation trades a small failure
+// probability for budget.
+package accounting
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Budget is an (ε, δ) privacy budget. δ = 0 is pure DP.
+type Budget struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// Add returns the sequential composition of two budgets: epsilons and
+// deltas add (basic composition).
+func (b Budget) Add(other Budget) Budget {
+	return Budget{Epsilon: b.Epsilon + other.Epsilon, Delta: b.Delta + other.Delta}
+}
+
+// Max returns the parallel composition of two budgets applied to
+// disjoint data: the worse of the two in each coordinate.
+func (b Budget) Max(other Budget) Budget {
+	return Budget{
+		Epsilon: math.Max(b.Epsilon, other.Epsilon),
+		Delta:   math.Max(b.Delta, other.Delta),
+	}
+}
+
+// Exceeds reports whether b exceeds the limit in either coordinate.
+func (b Budget) Exceeds(limit Budget) bool {
+	const slack = 1e-12 // absorb float accumulation error
+	return b.Epsilon > limit.Epsilon+slack || b.Delta > limit.Delta+slack
+}
+
+// String formats the budget for logs.
+func (b Budget) String() string {
+	if b.Delta == 0 {
+		return fmt.Sprintf("ε=%.4g", b.Epsilon)
+	}
+	return fmt.Sprintf("(ε=%.4g, δ=%.3g)", b.Epsilon, b.Delta)
+}
+
+// SequentialComposition sums the budgets of k identical queries.
+func SequentialComposition(per Budget, k int) Budget {
+	return Budget{Epsilon: per.Epsilon * float64(k), Delta: per.Delta * float64(k)}
+}
+
+// AdvancedComposition returns the (ε', kδ+δ') budget of k adaptive
+// ε-DP queries under the advanced composition theorem (Dwork–Rothblum–
+// Vadhan): ε' = ε·sqrt(2k·ln(1/δ')) + k·ε·(e^ε − 1).
+func AdvancedComposition(epsilon float64, k int, deltaPrime float64) Budget {
+	if deltaPrime <= 0 || deltaPrime >= 1 {
+		panic("accounting: delta' must be in (0,1)")
+	}
+	kf := float64(k)
+	eps := epsilon*math.Sqrt(2*kf*math.Log(1/deltaPrime)) + kf*epsilon*(math.Exp(epsilon)-1)
+	return Budget{Epsilon: eps, Delta: deltaPrime}
+}
+
+// Ledger enforces a per-user budget limit across collection events. It
+// is safe for concurrent use — aggregation servers charge it from
+// request handlers.
+type Ledger struct {
+	mu    sync.Mutex
+	limit Budget
+	spent map[string]Budget
+}
+
+// NewLedger returns a ledger enforcing the given per-user limit.
+func NewLedger(limit Budget) *Ledger {
+	if limit.Epsilon <= 0 {
+		panic("accounting: ledger limit epsilon must be positive")
+	}
+	return &Ledger{limit: limit, spent: make(map[string]Budget)}
+}
+
+// Charge records a spend for user and returns an error if it would
+// exceed the limit; rejected charges are not recorded.
+func (l *Ledger) Charge(user string, cost Budget) error {
+	if cost.Epsilon < 0 || cost.Delta < 0 {
+		return fmt.Errorf("accounting: negative cost %v", cost)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next := l.spent[user].Add(cost)
+	if next.Exceeds(l.limit) {
+		return fmt.Errorf("accounting: user %q would spend %v, limit %v", user, next, l.limit)
+	}
+	l.spent[user] = next
+	return nil
+}
+
+// Spent returns the budget user has consumed so far.
+func (l *Ledger) Spent(user string) Budget {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spent[user]
+}
+
+// Remaining returns the budget user still has available.
+func (l *Ledger) Remaining(user string) Budget {
+	s := l.Spent(user)
+	rem := Budget{Epsilon: l.limit.Epsilon - s.Epsilon, Delta: l.limit.Delta - s.Delta}
+	if rem.Epsilon < 0 {
+		rem.Epsilon = 0
+	}
+	if rem.Delta < 0 {
+		rem.Delta = 0
+	}
+	return rem
+}
+
+// Users returns the charged user IDs in sorted order (for reports).
+func (l *Ledger) Users() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.spent))
+	for u := range l.spent {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SplitEvenly divides a total budget across k collections.
+func SplitEvenly(total Budget, k int) Budget {
+	if k <= 0 {
+		panic("accounting: k must be positive")
+	}
+	return Budget{Epsilon: total.Epsilon / float64(k), Delta: total.Delta / float64(k)}
+}

@@ -1,0 +1,186 @@
+package accounting
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBudgetAdd(t *testing.T) {
+	a := Budget{Epsilon: 1, Delta: 1e-6}
+	b := Budget{Epsilon: 0.5, Delta: 1e-6}
+	sum := a.Add(b)
+	if sum.Epsilon != 1.5 || sum.Delta != 2e-6 {
+		t.Fatalf("Add=%v", sum)
+	}
+}
+
+func TestBudgetMax(t *testing.T) {
+	a := Budget{Epsilon: 1, Delta: 2e-6}
+	b := Budget{Epsilon: 2, Delta: 1e-6}
+	m := a.Max(b)
+	if m.Epsilon != 2 || m.Delta != 2e-6 {
+		t.Fatalf("Max=%v", m)
+	}
+}
+
+func TestExceeds(t *testing.T) {
+	limit := Budget{Epsilon: 1}
+	if (Budget{Epsilon: 1}).Exceeds(limit) {
+		t.Error("equal budget should not exceed")
+	}
+	if !(Budget{Epsilon: 1.001}).Exceeds(limit) {
+		t.Error("larger epsilon should exceed")
+	}
+	if !(Budget{Epsilon: 0.5, Delta: 1e-9}).Exceeds(limit) {
+		t.Error("nonzero delta should exceed pure-DP limit")
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	got := SequentialComposition(Budget{Epsilon: 0.1, Delta: 1e-8}, 10)
+	if math.Abs(got.Epsilon-1) > 1e-12 || math.Abs(got.Delta-1e-7) > 1e-20 {
+		t.Fatalf("sequential=%v", got)
+	}
+}
+
+func TestAdvancedCompositionBeatsBasicForManyQueries(t *testing.T) {
+	// For k large and ε small, advanced composition's ε' ~ ε√(2k ln(1/δ))
+	// is far below basic composition's kε.
+	eps, k := 0.01, 10000
+	adv := AdvancedComposition(eps, k, 1e-6)
+	basic := SequentialComposition(Budget{Epsilon: eps}, k)
+	if adv.Epsilon >= basic.Epsilon {
+		t.Errorf("advanced %.3f should beat basic %.3f", adv.Epsilon, basic.Epsilon)
+	}
+	if adv.Delta != 1e-6 {
+		t.Errorf("advanced delta %v", adv.Delta)
+	}
+}
+
+func TestAdvancedCompositionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AdvancedComposition(0.1, 10, 0)
+}
+
+func TestLedgerEnforcesLimit(t *testing.T) {
+	l := NewLedger(Budget{Epsilon: 1})
+	for i := 0; i < 4; i++ {
+		if err := l.Charge("alice", Budget{Epsilon: 0.25}); err != nil {
+			t.Fatalf("charge %d rejected: %v", i, err)
+		}
+	}
+	if err := l.Charge("alice", Budget{Epsilon: 0.25}); err == nil {
+		t.Fatal("over-limit charge accepted")
+	}
+	// Rejected charges must not be recorded.
+	if got := l.Spent("alice").Epsilon; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("spent %v want 1", got)
+	}
+	// Other users unaffected.
+	if err := l.Charge("bob", Budget{Epsilon: 0.5}); err != nil {
+		t.Fatalf("bob rejected: %v", err)
+	}
+}
+
+func TestLedgerRemaining(t *testing.T) {
+	l := NewLedger(Budget{Epsilon: 2, Delta: 1e-6})
+	_ = l.Charge("u", Budget{Epsilon: 0.5, Delta: 1e-7})
+	rem := l.Remaining("u")
+	if math.Abs(rem.Epsilon-1.5) > 1e-9 || math.Abs(rem.Delta-9e-7) > 1e-15 {
+		t.Fatalf("remaining=%v", rem)
+	}
+	if rem := l.Remaining("unknown"); rem.Epsilon != 2 {
+		t.Fatalf("unknown user remaining=%v", rem)
+	}
+}
+
+func TestLedgerNegativeCost(t *testing.T) {
+	l := NewLedger(Budget{Epsilon: 1})
+	if err := l.Charge("u", Budget{Epsilon: -0.1}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestLedgerConcurrentCharges(t *testing.T) {
+	l := NewLedger(Budget{Epsilon: 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = l.Charge("shared", Budget{Epsilon: 0.1})
+			}
+		}()
+	}
+	wg.Wait()
+	// 800 × 0.1 = 80 <= 100, so every charge must have landed.
+	if got := l.Spent("shared").Epsilon; math.Abs(got-80) > 1e-6 {
+		t.Fatalf("spent %v want 80", got)
+	}
+}
+
+func TestLedgerUsersSorted(t *testing.T) {
+	l := NewLedger(Budget{Epsilon: 1})
+	for _, u := range []string{"zoe", "amy", "bob"} {
+		_ = l.Charge(u, Budget{Epsilon: 0.1})
+	}
+	users := l.Users()
+	if len(users) != 3 || users[0] != "amy" || users[1] != "bob" || users[2] != "zoe" {
+		t.Fatalf("users=%v", users)
+	}
+}
+
+func TestSplitEvenly(t *testing.T) {
+	per := SplitEvenly(Budget{Epsilon: 1, Delta: 4e-6}, 4)
+	if per.Epsilon != 0.25 || per.Delta != 1e-6 {
+		t.Fatalf("split=%v", per)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	SplitEvenly(Budget{Epsilon: 1}, 0)
+}
+
+func TestCompositionRoundTripProperty(t *testing.T) {
+	// Splitting then sequentially composing k ways returns the original
+	// budget (up to float error).
+	f := func(eRaw, dRaw uint16, kRaw uint8) bool {
+		eps := float64(eRaw%1000)/100 + 0.01
+		delta := float64(dRaw) * 1e-9
+		k := int(kRaw%20) + 1
+		total := Budget{Epsilon: eps, Delta: delta}
+		back := SequentialComposition(SplitEvenly(total, k), k)
+		return math.Abs(back.Epsilon-total.Epsilon) < 1e-9 &&
+			math.Abs(back.Delta-total.Delta) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	if s := (Budget{Epsilon: 1}).String(); s != "ε=1" {
+		t.Errorf("String=%q", s)
+	}
+	if s := (Budget{Epsilon: 0.5, Delta: 1e-6}).String(); s == "" {
+		t.Error("empty string for (ε,δ) budget")
+	}
+}
+
+func TestNewLedgerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLedger(Budget{})
+}

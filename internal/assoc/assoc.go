@@ -1,0 +1,279 @@
+// Package assoc implements locally private association learning
+// between two categorical attributes, the second contribution of
+// Fanti et al. [14] ("privacy-preserving learning of associations"):
+// estimating the joint distribution P(X, Y) — and hence correlations —
+// when each user holds a pair (x, y).
+//
+// Three estimators are provided for the E-style comparisons:
+//
+//   - Joint: one oracle over the product domain |X|·|Y| — unbiased but
+//     high-variance for large products.
+//   - Independent: the outer product of two marginal estimates, the
+//     baseline that by construction misses all association.
+//   - Split: half the users report the product value, half report
+//     marginals; the joint estimate is consistency-projected so its
+//     marginals match the (more accurate) directly-estimated ones via
+//     iterative proportional fitting.
+package assoc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+)
+
+// Params configures association estimation over X in [0, DX) and Y in
+// [0, DY).
+type Params struct {
+	Epsilon float64
+	DX, DY  int
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	switch {
+	case p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0):
+		return fmt.Errorf("assoc: epsilon must be positive and finite")
+	case p.DX < 2 || p.DY < 2:
+		return fmt.Errorf("assoc: domains must be at least 2, got %d x %d", p.DX, p.DY)
+	}
+	return nil
+}
+
+// Collector aggregates pair reports under one of the three strategies.
+type Collector struct {
+	params Params
+	src    ldprand.Source
+	joint  freq.Oracle // product-domain oracle (Joint and Split)
+	margX  freq.Oracle // marginal oracles (Independent and Split)
+	margY  freq.Oracle
+	split  bool
+	next   int
+}
+
+// Strategy selects how users are routed.
+type Strategy int
+
+// The supported strategies.
+const (
+	Joint       Strategy = iota // every user reports the product value
+	Independent                 // every user reports one marginal (alternating)
+	Split                       // half product, half marginals
+)
+
+// NewCollector returns an association collector. A nil source selects
+// crypto/rand.
+func NewCollector(params Params, strategy Strategy, src ldprand.Source) (*Collector, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	c := &Collector{params: params, src: src}
+	switch strategy {
+	case Joint:
+		c.joint = freq.NewOLH(params.Epsilon, params.DX*params.DY, src)
+	case Independent:
+		c.margX = freq.NewAdaptive(params.Epsilon, params.DX, src)
+		c.margY = freq.NewAdaptive(params.Epsilon, params.DY, src)
+	case Split:
+		c.split = true
+		c.joint = freq.NewOLH(params.Epsilon, params.DX*params.DY, src)
+		c.margX = freq.NewAdaptive(params.Epsilon, params.DX, src)
+		c.margY = freq.NewAdaptive(params.Epsilon, params.DY, src)
+	default:
+		return nil, fmt.Errorf("assoc: unknown strategy %d", strategy)
+	}
+	return c, nil
+}
+
+// Collect routes one user's pair.
+func (c *Collector) Collect(x, y int) error {
+	if x < 0 || x >= c.params.DX || y < 0 || y >= c.params.DY {
+		return fmt.Errorf("assoc: pair (%d,%d) outside %dx%d", x, y, c.params.DX, c.params.DY)
+	}
+	defer func() { c.next++ }()
+	switch {
+	case c.split:
+		switch c.next % 4 {
+		case 0, 1:
+			c.joint.Collect(x*c.params.DY + y)
+		case 2:
+			c.margX.Collect(x)
+		default:
+			c.margY.Collect(y)
+		}
+	case c.joint != nil:
+		c.joint.Collect(x*c.params.DY + y)
+	default:
+		if c.next%2 == 0 {
+			c.margX.Collect(x)
+		} else {
+			c.margY.Collect(y)
+		}
+	}
+	return nil
+}
+
+// Collected returns the total users routed.
+func (c *Collector) Collected() int { return c.next }
+
+// EstimateJoint returns the estimated joint distribution P(X=x, Y=y)
+// as a DX×DY table (probabilities, clamped and normalized).
+func (c *Collector) EstimateJoint() [][]float64 {
+	dx, dy := c.params.DX, c.params.DY
+	table := make([][]float64, dx)
+	for i := range table {
+		table[i] = make([]float64, dy)
+	}
+	switch {
+	case c.split:
+		joint := distributionOf(c.joint)
+		mx := distributionOf(c.margX)
+		my := distributionOf(c.margY)
+		fitted := ipf(joint, mx, my, dx, dy, 50)
+		for x := 0; x < dx; x++ {
+			copy(table[x], fitted[x])
+		}
+	case c.joint != nil:
+		joint := distributionOf(c.joint)
+		for x := 0; x < dx; x++ {
+			for y := 0; y < dy; y++ {
+				table[x][y] = joint[x*dy+y]
+			}
+		}
+	default:
+		mx := distributionOf(c.margX)
+		my := distributionOf(c.margY)
+		for x := 0; x < dx; x++ {
+			for y := 0; y < dy; y++ {
+				table[x][y] = mx[x] * my[y]
+			}
+		}
+	}
+	return table
+}
+
+// distributionOf clamps and normalizes an oracle's count estimates.
+func distributionOf(o freq.Oracle) []float64 {
+	return freq.ClampToSimplex(freq.EstimateFrequencies(o.EstimateCounts(), maxInt(o.Collected(), 1)))
+}
+
+// ipf runs iterative proportional fitting: it rescales the joint
+// table's rows and columns until its marginals match the given
+// targets. The result keeps the joint's association structure while
+// inheriting the marginals' accuracy.
+func ipf(joint, mx, my []float64, dx, dy, iters int) [][]float64 {
+	t := make([][]float64, dx)
+	for x := range t {
+		t[x] = make([]float64, dy)
+		for y := 0; y < dy; y++ {
+			v := joint[x*dy+y]
+			if v <= 0 {
+				v = 1e-9 // keep IPF able to move mass anywhere
+			}
+			t[x][y] = v
+		}
+	}
+	for it := 0; it < iters; it++ {
+		// Row step: match P(X).
+		for x := 0; x < dx; x++ {
+			var row float64
+			for y := 0; y < dy; y++ {
+				row += t[x][y]
+			}
+			if row == 0 {
+				continue
+			}
+			scale := mx[x] / row
+			for y := 0; y < dy; y++ {
+				t[x][y] *= scale
+			}
+		}
+		// Column step: match P(Y).
+		for y := 0; y < dy; y++ {
+			var col float64
+			for x := 0; x < dx; x++ {
+				col += t[x][y]
+			}
+			if col == 0 {
+				continue
+			}
+			scale := my[y] / col
+			for x := 0; x < dx; x++ {
+				t[x][y] *= scale
+			}
+		}
+	}
+	return t
+}
+
+// MutualInformation returns the mutual information (in nats) of a
+// joint table — the association strength measure used in experiments.
+func MutualInformation(joint [][]float64) float64 {
+	dx := len(joint)
+	if dx == 0 {
+		return 0
+	}
+	dy := len(joint[0])
+	px := make([]float64, dx)
+	py := make([]float64, dy)
+	for x := 0; x < dx; x++ {
+		for y := 0; y < dy; y++ {
+			px[x] += joint[x][y]
+			py[y] += joint[x][y]
+		}
+	}
+	var mi float64
+	for x := 0; x < dx; x++ {
+		for y := 0; y < dy; y++ {
+			p := joint[x][y]
+			if p <= 0 || px[x] <= 0 || py[y] <= 0 {
+				continue
+			}
+			mi += p * math.Log(p/(px[x]*py[y]))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // float error on near-independent tables
+	}
+	return mi
+}
+
+// TrueJoint tallies the exact joint distribution of raw pairs.
+func TrueJoint(dx, dy int, xs, ys []int) [][]float64 {
+	table := make([][]float64, dx)
+	for i := range table {
+		table[i] = make([]float64, dy)
+	}
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return table
+	}
+	for i := range xs {
+		table[xs[i]][ys[i]] += 1 / float64(n)
+	}
+	return table
+}
+
+// JointTV returns the total variation distance between two joint
+// tables of identical shape.
+func JointTV(a, b [][]float64) float64 {
+	var sum float64
+	for x := range a {
+		for y := range a[x] {
+			sum += math.Abs(a[x][y] - b[x][y])
+		}
+	}
+	return sum / 2
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

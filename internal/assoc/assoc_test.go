@@ -1,0 +1,206 @@
+package assoc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+// correlatedPairs draws n pairs over dx×dy where Y copies X (mod dy)
+// with probability corr, else is uniform.
+func correlatedPairs(src ldprand.Source, dx, dy, n int, corr float64) ([]int, []int) {
+	xs := make([]int, n)
+	ys := make([]int, n)
+	for i := 0; i < n; i++ {
+		xs[i] = ldprand.Intn(src, dx)
+		if ldprand.Bernoulli(src, corr) {
+			ys[i] = xs[i] % dy
+		} else {
+			ys[i] = ldprand.Intn(src, dy)
+		}
+	}
+	return xs, ys
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Epsilon: 1, DX: 4, DY: 4}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Epsilon: 0, DX: 4, DY: 4},
+		{Epsilon: 1, DX: 1, DY: 4},
+		{Epsilon: 1, DX: 4, DY: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewCollector(Params{Epsilon: 1, DX: 4, DY: 4}, Strategy(99), nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestCollectValidatesPairs(t *testing.T) {
+	c, _ := NewCollector(Params{Epsilon: 1, DX: 3, DY: 3}, Joint, ldprand.NewSplitMix64(1))
+	if err := c.Collect(3, 0); err == nil {
+		t.Error("x out of range accepted")
+	}
+	if err := c.Collect(0, -1); err == nil {
+		t.Error("y out of range accepted")
+	}
+	if err := c.Collect(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Collected() != 1 {
+		t.Fatalf("collected %d", c.Collected())
+	}
+}
+
+func TestJointTablesAreDistributions(t *testing.T) {
+	src := ldprand.NewSplitMix64(2)
+	xs, ys := correlatedPairs(src, 4, 4, 30000, 0.8)
+	for _, strat := range []Strategy{Joint, Independent, Split} {
+		c, err := NewCollector(Params{Epsilon: 2, DX: 4, DY: 4}, strat, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if err := c.Collect(xs[i], ys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		table := c.EstimateJoint()
+		var sum float64
+		for x := range table {
+			for y := range table[x] {
+				if table[x][y] < -1e-9 {
+					t.Fatalf("strategy %d: negative prob", strat)
+				}
+				sum += table[x][y]
+			}
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Errorf("strategy %d: table sums to %v", strat, sum)
+		}
+	}
+}
+
+func TestJointRecoversAssociation(t *testing.T) {
+	src := ldprand.NewSplitMix64(3)
+	const dx, dy, n = 4, 4, 80000
+	xs, ys := correlatedPairs(src, dx, dy, n, 0.9)
+	truth := TrueJoint(dx, dy, xs, ys)
+	miTrue := MutualInformation(truth)
+
+	joint, _ := NewCollector(Params{Epsilon: 2, DX: dx, DY: dy}, Joint, src)
+	indep, _ := NewCollector(Params{Epsilon: 2, DX: dx, DY: dy}, Independent, src)
+	for i := range xs {
+		_ = joint.Collect(xs[i], ys[i])
+		_ = indep.Collect(xs[i], ys[i])
+	}
+	miJoint := MutualInformation(joint.EstimateJoint())
+	miIndep := MutualInformation(indep.EstimateJoint())
+
+	// The joint estimator must see most of the true association; the
+	// independence baseline must see almost none.
+	if miJoint < 0.5*miTrue {
+		t.Errorf("joint MI %.3f misses truth %.3f", miJoint, miTrue)
+	}
+	if miIndep > 0.2*miTrue {
+		t.Errorf("independent MI %.3f should be near zero (truth %.3f)", miIndep, miTrue)
+	}
+}
+
+func TestSplitMarginalAccuracy(t *testing.T) {
+	// Split dedicates users to dedicated marginal oracles and projects
+	// the joint onto them with IPF, so its *marginals* must beat the
+	// pure-Joint estimator's marginals; its joint TV pays for giving
+	// the product-domain pass only half the users (allow 2.5x).
+	src := ldprand.NewSplitMix64(4)
+	const dx, dy, n = 8, 8, 60000
+	xs, ys := correlatedPairs(src, dx, dy, n, 0.7)
+	truth := TrueJoint(dx, dy, xs, ys)
+
+	joint, _ := NewCollector(Params{Epsilon: 1, DX: dx, DY: dy}, Joint, src)
+	split, _ := NewCollector(Params{Epsilon: 1, DX: dx, DY: dy}, Split, src)
+	for i := range xs {
+		_ = joint.Collect(xs[i], ys[i])
+		_ = split.Collect(xs[i], ys[i])
+	}
+	tJoint := joint.EstimateJoint()
+	tSplit := split.EstimateJoint()
+
+	marginalErr := func(table [][]float64) float64 {
+		var errX float64
+		for x := 0; x < dx; x++ {
+			var est, tru float64
+			for y := 0; y < dy; y++ {
+				est += table[x][y]
+				tru += truth[x][y]
+			}
+			errX += math.Abs(est - tru)
+		}
+		return errX
+	}
+	if me, mj := marginalErr(tSplit), marginalErr(tJoint); me > mj*1.05 {
+		t.Errorf("split marginal error %.4f should beat joint's %.4f", me, mj)
+	}
+	tvJoint := JointTV(tJoint, truth)
+	tvSplit := JointTV(tSplit, truth)
+	if tvSplit > 2.5*tvJoint+0.02 {
+		t.Errorf("split TV %.4f too far beyond joint %.4f", tvSplit, tvJoint)
+	}
+}
+
+func TestMutualInformationKnownCases(t *testing.T) {
+	// Perfectly dependent 2x2: MI = ln 2.
+	dep := [][]float64{{0.5, 0}, {0, 0.5}}
+	if got := MutualInformation(dep); math.Abs(got-math.Ln2) > 1e-9 {
+		t.Errorf("dependent MI %v want ln2", got)
+	}
+	// Independent uniform: MI = 0.
+	ind := [][]float64{{0.25, 0.25}, {0.25, 0.25}}
+	if got := MutualInformation(ind); got != 0 {
+		t.Errorf("independent MI %v want 0", got)
+	}
+	if MutualInformation(nil) != 0 {
+		t.Error("empty table MI should be 0")
+	}
+}
+
+func TestTrueJointAndTV(t *testing.T) {
+	xs := []int{0, 0, 1, 1}
+	ys := []int{0, 0, 1, 0}
+	truth := TrueJoint(2, 2, xs, ys)
+	if truth[0][0] != 0.5 || truth[1][0] != 0.25 || truth[1][1] != 0.25 {
+		t.Fatalf("TrueJoint=%v", truth)
+	}
+	if JointTV(truth, truth) != 0 {
+		t.Error("self TV should be 0")
+	}
+	other := TrueJoint(2, 2, []int{0, 0, 0, 0}, []int{0, 0, 0, 0})
+	if tv := JointTV(truth, other); math.Abs(tv-0.5) > 1e-9 {
+		t.Errorf("TV %v want 0.5", tv)
+	}
+}
+
+func TestIPFMatchesMarginals(t *testing.T) {
+	joint := []float64{0.4, 0.1, 0.1, 0.4} // 2x2
+	mx := []float64{0.7, 0.3}
+	my := []float64{0.6, 0.4}
+	fitted := ipf(joint, mx, my, 2, 2, 100)
+	for x := 0; x < 2; x++ {
+		row := fitted[x][0] + fitted[x][1]
+		if math.Abs(row-mx[x]) > 1e-6 {
+			t.Errorf("row %d marginal %v want %v", x, row, mx[x])
+		}
+	}
+	for y := 0; y < 2; y++ {
+		col := fitted[0][y] + fitted[1][y]
+		if math.Abs(col-my[y]) > 1e-6 {
+			t.Errorf("col %d marginal %v want %v", y, col, my[y])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package bitvec implements packed bit vectors.
+//
+// Bit vectors are the wire format of the unary-encoding mechanisms
+// (SUE/OUE), of Bloom-filter reports in RAPPOR, and of the d-bit histogram
+// reports in Microsoft-style telemetry, so the representation is kept
+// compact (one bit per position) and the operations allocation-light.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length packed bit vector. The zero value is an empty
+// vector of length 0; use New for a sized vector.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBools builds a vector whose i-th bit is set iff b[i] is true.
+func FromBools(b []bool) *Vector {
+	v := New(len(b))
+	for i, set := range b {
+		if set {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.bound(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.bound(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Flip inverts bit i.
+func (v *Vector) Flip(i int) {
+	v.bound(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+// SetTo sets bit i to the given value.
+func (v *Vector) SetTo(i int, value bool) {
+	if value {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.bound(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// Or sets v to the bitwise OR of v and other. Lengths must match.
+func (v *Vector) Or(other *Vector) {
+	v.match(other)
+	for i := range v.words {
+		v.words[i] |= other.words[i]
+	}
+}
+
+// And sets v to the bitwise AND of v and other. Lengths must match.
+func (v *Vector) And(other *Vector) {
+	v.match(other)
+	for i := range v.words {
+		v.words[i] &= other.words[i]
+	}
+}
+
+// Xor sets v to the bitwise XOR of v and other. Lengths must match.
+func (v *Vector) Xor(other *Vector) {
+	v.match(other)
+	for i := range v.words {
+		v.words[i] ^= other.words[i]
+	}
+}
+
+// Equal reports whether v and other have the same length and bits.
+func (v *Vector) Equal(other *Vector) bool {
+	if v.n != other.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the indices of all set bits in increasing order.
+func (v *Vector) Ones() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// MarshalBinary encodes the vector as 4 length bytes followed by packed
+// little-endian words, for transport in reports.
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+8*len(v.words))
+	out[0] = byte(v.n)
+	out[1] = byte(v.n >> 8)
+	out[2] = byte(v.n >> 16)
+	out[3] = byte(v.n >> 24)
+	for i, w := range v.words {
+		for b := 0; b < 8; b++ {
+			out[4+8*i+b] = byte(w >> (8 * uint(b)))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("bitvec: short buffer (%d bytes)", len(data))
+	}
+	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	if n < 0 {
+		return fmt.Errorf("bitvec: invalid length %d", n)
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if len(data) != 4+8*nw {
+		return fmt.Errorf("bitvec: length %d needs %d bytes, have %d", n, 4+8*nw, len(data))
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(data[4+8*i+b]) << (8 * uint(b))
+		}
+		words[i] = w
+	}
+	// Reject set bits beyond n: they would silently corrupt Count.
+	if rem := n % wordBits; rem != 0 && nw > 0 {
+		if words[nw-1]>>uint(rem) != 0 {
+			return fmt.Errorf("bitvec: set bits beyond length %d", n)
+		}
+	}
+	v.n = n
+	v.words = words
+	return nil
+}
+
+func (v *Vector) bound(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+func (v *Vector) match(other *Vector) {
+	if v.n != other.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, other.n))
+	}
+}

@@ -1,0 +1,101 @@
+// Package bloom implements the Bloom filter substrate of Google's RAPPOR
+// (§1.2(1)): each client hashes its string value into a short bit array
+// with k seeded hash functions before randomizing the bits.
+package bloom
+
+import (
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/hashutil"
+)
+
+// Filter is a Bloom filter over byte-string items with k seeded hash
+// functions into m bits. Filters built with the same parameters and seed
+// hash identically, which is what RAPPOR decoding requires: the server
+// recomputes candidate bit patterns with the clients' public parameters.
+type Filter struct {
+	m    int
+	k    int
+	seed uint64
+	bits *bitvec.Vector
+}
+
+// New returns an empty filter with m bits and k hash functions derived
+// from seed. It panics if m or k is not positive.
+func New(m, k int, seed uint64) *Filter {
+	if m <= 0 || k <= 0 {
+		panic("bloom: m and k must be positive")
+	}
+	return &Filter{m: m, k: k, seed: seed, bits: bitvec.New(m)}
+}
+
+// OptimalK returns the false-positive-minimizing hash count for a filter
+// of m bits expecting n insertions: round(m/n · ln 2), at least 1.
+func OptimalK(m, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// M returns the filter size in bits.
+func (f *Filter) M() int { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Seed returns the seed the hash functions derive from.
+func (f *Filter) Seed() uint64 { return f.seed }
+
+// Positions returns the k bit positions item hashes to, in hash order
+// (duplicates possible, as in a standard Bloom filter).
+func (f *Filter) Positions(item []byte) []int {
+	pos := make([]int, f.k)
+	for i := range pos {
+		pos[i] = hashutil.HashBytesRange(f.seed+uint64(i)*0x9e3779b97f4a7c15, item, f.m)
+	}
+	return pos
+}
+
+// Add inserts item into the filter.
+func (f *Filter) Add(item []byte) {
+	for _, p := range f.Positions(item) {
+		f.bits.Set(p)
+	}
+}
+
+// Test reports whether item may be in the filter (no false negatives).
+func (f *Filter) Test(item []byte) bool {
+	for _, p := range f.Positions(item) {
+		if !f.bits.Get(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the underlying bit vector (not a copy); RAPPOR perturbs
+// it in place.
+func (f *Filter) Bits() *bitvec.Vector { return f.bits }
+
+// Encode returns the bit vector for a single item without mutating the
+// filter, which is the client-side RAPPOR encoding step.
+func (f *Filter) Encode(item []byte) *bitvec.Vector {
+	v := bitvec.New(f.m)
+	for _, p := range f.Positions(item) {
+		v.Set(p)
+	}
+	return v
+}
+
+// FalsePositiveRate estimates the false-positive probability after n
+// insertions: (1 − e^{−kn/m})^k.
+func (f *Filter) FalsePositiveRate(n int) float64 {
+	exp := -float64(f.k) * float64(n) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}

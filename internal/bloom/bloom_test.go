@@ -1,0 +1,128 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(256, 4, 1)
+	items := make([][]byte, 50)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("url-%d.example.com", i))
+		f.Add(items[i])
+	}
+	for _, it := range items {
+		if !f.Test(it) {
+			t.Fatalf("false negative for %s", it)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	const m, n = 1024, 80
+	f := New(m, OptimalK(m, n), 7)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.Test([]byte(fmt.Sprintf("nonmember-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	predicted := f.FalsePositiveRate(n)
+	if rate > predicted*3+0.01 {
+		t.Errorf("observed FP rate %v far above predicted %v", rate, predicted)
+	}
+}
+
+func TestEncodeMatchesPositions(t *testing.T) {
+	f := New(128, 3, 42)
+	item := []byte("hello")
+	v := f.Encode(item)
+	for _, p := range f.Positions(item) {
+		if !v.Get(p) {
+			t.Fatalf("encoded vector missing position %d", p)
+		}
+	}
+	if v.Count() > 3 {
+		t.Fatalf("encoded vector has %d bits set, k=3", v.Count())
+	}
+	// Encode must not mutate the filter.
+	if f.Bits().Count() != 0 {
+		t.Fatal("Encode mutated the filter")
+	}
+}
+
+func TestPositionsDeterministicProperty(t *testing.T) {
+	f := New(512, 4, 99)
+	fn := func(item []byte) bool {
+		a := f.Positions(item)
+		b := f.Positions(item)
+		for i := range a {
+			if a[i] != b[i] || a[i] < 0 || a[i] >= 512 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameSeedSameEncoding(t *testing.T) {
+	// RAPPOR requires the server to reproduce client encodings exactly.
+	client := New(64, 2, 1234)
+	server := New(64, 2, 1234)
+	other := New(64, 2, 9999)
+	item := []byte("www.news.example")
+	cv := client.Encode(item)
+	sv := server.Encode(item)
+	ov := other.Encode(item)
+	if !cv.Equal(sv) {
+		t.Error("same seed must produce identical encodings")
+	}
+	if cv.Equal(ov) {
+		t.Error("different seeds should produce different encodings (overwhelmingly)")
+	}
+}
+
+func TestOptimalK(t *testing.T) {
+	if k := OptimalK(1024, 100); k < 5 || k > 9 {
+		t.Errorf("OptimalK(1024,100)=%d want about 7", k)
+	}
+	if k := OptimalK(8, 1000); k != 1 {
+		t.Errorf("OptimalK small m = %d want 1", k)
+	}
+	if k := OptimalK(100, 0); k != 1 {
+		t.Errorf("OptimalK n=0 = %d want 1", k)
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 1, 0) },
+		func() { New(10, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f := New(100, 3, 77)
+	if f.M() != 100 || f.K() != 3 || f.Seed() != 77 {
+		t.Fatalf("accessors wrong: m=%d k=%d seed=%d", f.M(), f.K(), f.Seed())
+	}
+}

@@ -1,0 +1,65 @@
+package central
+
+import (
+	"math"
+
+	"repro/internal/ldprand"
+)
+
+// GaussianMechanism releases real-valued queries under (ε, δ)-DP — the
+// "additive relaxation" the tutorial's theory section (§1.4) asks
+// about: admitting a small failure probability δ lets noise follow a
+// light-tailed Gaussian with σ = √(2·ln(1.25/δ))·Δ₂/ε instead of the
+// heavier-tailed Laplace, which pays off for vector-valued queries
+// whose L2 sensitivity is far below their L1.
+type GaussianMechanism struct {
+	epsilon, delta float64
+	sigma          float64
+	src            ldprand.Source
+}
+
+// NewGaussian returns a Gaussian mechanism for queries with the given
+// L2 sensitivity. Requires ε in (0, 1) and δ in (0, 1) for the
+// classical calibration to hold.
+func NewGaussian(epsilon, delta, l2Sensitivity float64, src ldprand.Source) *GaussianMechanism {
+	if epsilon <= 0 || epsilon >= 1 || math.IsNaN(epsilon) {
+		panic("central: Gaussian mechanism requires epsilon in (0,1)")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("central: delta must be in (0,1)")
+	}
+	if l2Sensitivity <= 0 {
+		panic("central: sensitivity must be positive")
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	return &GaussianMechanism{
+		epsilon: epsilon,
+		delta:   delta,
+		sigma:   math.Sqrt(2*math.Log(1.25/delta)) * l2Sensitivity / epsilon,
+		src:     src,
+	}
+}
+
+// Sigma returns the calibrated noise standard deviation.
+func (m *GaussianMechanism) Sigma() float64 { return m.sigma }
+
+// Release returns value + N(0, σ²).
+func (m *GaussianMechanism) Release(value float64) float64 {
+	return value + m.sigma*ldprand.Normal(m.src)
+}
+
+// ReleaseVector adds independent N(0, σ²) noise to every component;
+// the stated sensitivity must be the L2 norm of the whole vector's
+// per-user change.
+func (m *GaussianMechanism) ReleaseVector(values []float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v + m.sigma*ldprand.Normal(m.src)
+	}
+	return out
+}
+
+// Variance returns σ².
+func (m *GaussianMechanism) Variance() float64 { return m.sigma * m.sigma }

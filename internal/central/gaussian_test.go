@@ -1,0 +1,81 @@
+package central
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+func TestGaussianSigmaCalibration(t *testing.T) {
+	m := NewGaussian(0.5, 1e-5, 1, ldprand.NewSplitMix64(1))
+	want := math.Sqrt(2*math.Log(1.25/1e-5)) / 0.5
+	if math.Abs(m.Sigma()-want) > 1e-9 {
+		t.Fatalf("sigma %v want %v", m.Sigma(), want)
+	}
+}
+
+func TestGaussianUnbiasedAndCalibrated(t *testing.T) {
+	m := NewGaussian(0.9, 1e-6, 2, ldprand.NewSplitMix64(2))
+	const trials = 200000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		d := m.Release(100) - 100
+		sum += d
+		sumSq += d * d
+	}
+	meanNoise := sum / trials
+	varNoise := sumSq/trials - meanNoise*meanNoise
+	if math.Abs(meanNoise) > 0.1 {
+		t.Errorf("noise mean %v want 0", meanNoise)
+	}
+	if math.Abs(varNoise-m.Variance()) > 0.05*m.Variance() {
+		t.Errorf("noise variance %v want %v", varNoise, m.Variance())
+	}
+}
+
+func TestGaussianBeatsLaplaceForVectors(t *testing.T) {
+	// The δ-relaxation story: for a d-dimensional query where each
+	// user moves every coordinate by 1/√d (L2 = 1, L1 = √d), Gaussian
+	// per-coordinate noise variance is far below Laplace's for large d.
+	const d = 1024
+	gauss := NewGaussian(0.5, 1e-6, 1, ldprand.NewSplitMix64(3))
+	lap := NewLaplace(0.5, math.Sqrt(d), ldprand.NewSplitMix64(4)) // L1 sensitivity = √d
+	if gauss.Variance() >= lap.Variance() {
+		t.Errorf("Gaussian variance %v should beat Laplace %v at d=%d",
+			gauss.Variance(), lap.Variance(), d)
+	}
+}
+
+func TestGaussianReleaseVector(t *testing.T) {
+	m := NewGaussian(0.5, 1e-5, 1, ldprand.NewSplitMix64(5))
+	in := []float64{1, 2, 3}
+	out := m.ReleaseVector(in)
+	if len(out) != 3 {
+		t.Fatalf("length %d", len(out))
+	}
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 12*m.Sigma() {
+			t.Errorf("noise at %d beyond 12 sigma", i)
+		}
+	}
+}
+
+func TestGaussianValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGaussian(0, 1e-5, 1, nil) },
+		func() { NewGaussian(1.5, 1e-5, 1, nil) }, // classical bound needs eps < 1
+		func() { NewGaussian(0.5, 0, 1, nil) },
+		func() { NewGaussian(0.5, 1, 1, nil) },
+		func() { NewGaussian(0.5, 1e-5, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+func params() PrivacyParams { return PrivacyParams{Epsilon: 2, Domain: 8} }
+
+func TestNewOracleAllMechanisms(t *testing.T) {
+	for _, name := range Mechanisms() {
+		o, err := NewOracle(name, params(), ldprand.NewSplitMix64(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Name() != name {
+			t.Errorf("oracle name %q for registry name %q", o.Name(), name)
+		}
+	}
+}
+
+func TestNewOracleRejectsBad(t *testing.T) {
+	if _, err := NewOracle("NOPE", params(), nil); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if _, err := NewOracle(MechanismGRR, PrivacyParams{Epsilon: 0, Domain: 8}, nil); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := NewOracle(MechanismGRR, PrivacyParams{Epsilon: 1, Domain: 1}, nil); err == nil {
+		t.Error("domain 1 accepted")
+	}
+}
+
+func TestEnvelopeRoundTripAllMechanisms(t *testing.T) {
+	// Privatize on a "client" oracle, serialize through JSON, aggregate
+	// on a fresh "server" oracle — the full wire path for every
+	// mechanism, checking estimates converge on a skewed input.
+	const n = 20000
+	for _, name := range Mechanisms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			client, err := NewOracle(name, params(), ldprand.NewSplitMix64(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			server, err := NewOracle(name, params(), ldprand.NewSplitMix64(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := ldprand.NewSplitMix64(4)
+			truth := make([]float64, 8)
+			for i := 0; i < n; i++ {
+				v := 0
+				if ldprand.Float64(src) > 0.6 {
+					v = 1 + ldprand.Intn(src, 7)
+				}
+				truth[v]++
+				env, err := Privatize(client, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := json.Marshal(env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var back Envelope
+				if err := json.Unmarshal(data, &back); err != nil {
+					t.Fatal(err)
+				}
+				if err := Aggregate(server, back); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if server.Collected() != n {
+				t.Fatalf("collected %d", server.Collected())
+			}
+			est := server.EstimateCounts()
+			tol := 5*math.Sqrt(server.TheoreticalVariance(n)) + 0.02*n
+			if math.Abs(est[0]-truth[0]) > tol {
+				t.Errorf("estimate %.0f truth %.0f (tol %.0f)", est[0], truth[0], tol)
+			}
+		})
+	}
+}
+
+func TestAggregateRejectsMismatchedMechanism(t *testing.T) {
+	grr, _ := NewOracle(MechanismGRR, params(), ldprand.NewSplitMix64(5))
+	if err := Aggregate(grr, Envelope{Mechanism: "OLH", Value: 1}); err == nil {
+		t.Fatal("mechanism mismatch accepted")
+	}
+}
+
+func TestAggregateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		mech string
+		env  Envelope
+	}{
+		{MechanismGRR, Envelope{Mechanism: "GRR", Value: 99}},
+		{MechanismGRR, Envelope{Mechanism: "GRR", Value: -1}},
+		{MechanismOUE, Envelope{Mechanism: "OUE", Bits: "!!!not-base64!!!"}},
+		{MechanismOUE, Envelope{Mechanism: "OUE", Bits: ""}},
+		{MechanismSHE, Envelope{Mechanism: "SHE", Reals: []float64{1, 2}}},
+		{MechanismOLH, Envelope{Mechanism: "OLH", Value: 10000}},
+		{MechanismHRR, Envelope{Mechanism: "HRR", Value: 0, Sign: 0}},
+		{MechanismHRR, Envelope{Mechanism: "HRR", Value: -2, Sign: 1}},
+	}
+	for _, c := range cases {
+		o, _ := NewOracle(c.mech, params(), ldprand.NewSplitMix64(6))
+		if err := Aggregate(o, c.env); err == nil {
+			t.Errorf("%s: malformed envelope accepted: %+v", c.mech, c.env)
+		}
+		if o.Collected() != 0 {
+			t.Errorf("%s: rejected envelope still counted", c.mech)
+		}
+	}
+}
+
+func TestClientReport(t *testing.T) {
+	c, err := NewClient(MechanismOLH, params(), ldprand.NewSplitMix64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mechanism() != "OLH" {
+		t.Errorf("mechanism %q", c.Mechanism())
+	}
+	if c.Params().Domain != 8 {
+		t.Errorf("params %+v", c.Params())
+	}
+	env, err := c.Report(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Mechanism != "OLH" {
+		t.Errorf("envelope mechanism %q", env.Mechanism)
+	}
+	if _, err := c.Report(8); err == nil {
+		t.Error("out-of-domain report accepted")
+	}
+	if _, err := c.Report(-1); err == nil {
+		t.Error("negative report accepted")
+	}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	svc, err := NewService(MechanismGRR, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	client, _ := NewClient(MechanismGRR, params(), ldprand.NewSplitMix64(8))
+	const n = 2000
+	src := ldprand.NewSplitMix64(9)
+	truth := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		v := ldprand.Intn(src, 3) // only values 0..2 occur
+		truth[v]++
+		env, err := client.Report(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(env)
+		resp, err := http.Post(ts.URL+"/report", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var est EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Reports != n || est.Mechanism != "GRR" || len(est.Counts) != 8 {
+		t.Fatalf("estimate response %+v", est)
+	}
+	// Unused values should estimate near zero, used ones near truth.
+	for v := 0; v < 8; v++ {
+		if math.Abs(est.Counts[v]-truth[v]) > 0.15*n {
+			t.Errorf("value %d: estimate %.0f truth %.0f", v, est.Counts[v], truth[v])
+		}
+	}
+
+	status, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer status.Body.Close()
+	var st StatusResponse
+	if err := json.NewDecoder(status.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != n || st.ReportBits < 1 {
+		t.Fatalf("status response %+v", st)
+	}
+}
+
+func TestServiceRejectsBadRequests(t *testing.T) {
+	svc, _ := NewService(MechanismGRR, params())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Wrong method on /report.
+	resp, _ := http.Get(ts.URL + "/report")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /report status %d", resp.StatusCode)
+	}
+	// Garbage body.
+	resp, _ = http.Post(ts.URL+"/report", "application/json", bytes.NewReader([]byte("{")))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage report status %d", resp.StatusCode)
+	}
+	// Valid JSON, invalid report.
+	body, _ := json.Marshal(Envelope{Mechanism: "GRR", Value: 999})
+	resp, _ = http.Post(ts.URL+"/report", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid report status %d", resp.StatusCode)
+	}
+	// Wrong method on /estimate.
+	resp, _ = http.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(nil))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /estimate status %d", resp.StatusCode)
+	}
+}
+
+func TestServiceConcurrentReports(t *testing.T) {
+	svc, _ := NewService(MechanismOUE, params())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const workers, per = 8, 50
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed uint64) {
+			client, err := NewClient(MechanismOUE, params(), ldprand.NewSplitMix64(seed))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < per; i++ {
+				env, err := client.Report(i % 8)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := json.Marshal(env)
+				resp, err := http.Post(ts.URL+"/report", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+			errs <- nil
+		}(uint64(w + 100))
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, _ := http.Get(ts.URL + "/status")
+	var st StatusResponse
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Reports != workers*per {
+		t.Fatalf("reports %d want %d", st.Reports, workers*per)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/freq"
+)
+
+// Service is an HTTP aggregation endpoint: clients POST Envelope JSON
+// to /report, analysts GET /estimate for the debiased counts and
+// /status for collection metadata. It is safe for concurrent use.
+type Service struct {
+	mu     sync.Mutex
+	oracle freq.Oracle
+	params PrivacyParams
+}
+
+// NewService returns a collection service for the named mechanism.
+func NewService(mechanism string, p PrivacyParams) (*Service, error) {
+	o, err := NewOracle(mechanism, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{oracle: o, params: p}, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/status", s.handleStatus)
+	return mux
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var env Envelope
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&env); err != nil {
+		http.Error(w, fmt.Sprintf("bad report: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	err := Aggregate(s.oracle, env)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// EstimateResponse is the JSON body of /estimate.
+type EstimateResponse struct {
+	Mechanism string    `json:"mechanism"`
+	Epsilon   float64   `json:"epsilon"`
+	Domain    int       `json:"domain"`
+	Reports   int       `json:"reports"`
+	Counts    []float64 `json:"counts"`
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	resp := EstimateResponse{
+		Mechanism: s.oracle.Name(),
+		Epsilon:   s.params.Epsilon,
+		Domain:    s.params.Domain,
+		Reports:   s.oracle.Collected(),
+		Counts:    s.oracle.EstimateCounts(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// StatusResponse is the JSON body of /status.
+type StatusResponse struct {
+	Mechanism  string  `json:"mechanism"`
+	Epsilon    float64 `json:"epsilon"`
+	Domain     int     `json:"domain"`
+	Reports    int     `json:"reports"`
+	ReportBits int     `json:"report_bits"`
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	resp := StatusResponse{
+		Mechanism:  s.oracle.Name(),
+		Epsilon:    s.params.Epsilon,
+		Domain:     s.params.Domain,
+		Reports:    s.oracle.Collected(),
+		ReportBits: s.oracle.ReportBits(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do than drop the
+		// connection, which the server does for us.
+		return
+	}
+}

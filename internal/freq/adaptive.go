@@ -1,0 +1,20 @@
+package freq
+
+import (
+	"math"
+
+	"repro/internal/ldprand"
+)
+
+// NewAdaptive returns the variance-optimal oracle for the given
+// parameters: GRR while the domain is small (d < 3e^ε + 2, where its
+// variance (d−2+e^ε)/(e^ε−1)² beats OUE/OLH's 4e^ε/(e^ε−1)²), and OLH
+// above the crossover. This packages the E3 result as the constructor
+// a downstream user should reach for by default.
+func NewAdaptive(epsilon float64, d int, src ldprand.Source) Oracle {
+	checkParams(epsilon, d)
+	if float64(d) < 3*math.Exp(epsilon)+2 {
+		return NewGRR(epsilon, d, src)
+	}
+	return NewOLH(epsilon, d, src)
+}

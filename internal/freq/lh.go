@@ -1,0 +1,160 @@
+package freq
+
+import (
+	"math"
+
+	"repro/internal/hashutil"
+	"repro/internal/ldprand"
+)
+
+// LH is the local-hashing family: the client draws a public random hash
+// function h (identified by a seed) from the domain into [g], applies
+// generalized randomized response over the g buckets to h(v), and sends
+// (seed, bucket). The server "supports" every candidate value that the
+// reported hash maps into the reported bucket.
+//
+// Binary local hashing (BLH) fixes g = 2 (one payload bit, the
+// Bassily–Smith construction); optimized local hashing (OLH, Wang et
+// al.) uses g = ⌈e^ε⌉ + 1, matching OUE's variance with only
+// log₂(g)-bit payloads. The seed doubles as the per-user randomness that
+// Apple/Microsoft-style deployments memoize.
+type LH struct {
+	name    string
+	epsilon float64
+	d       int
+	g       int     // hash range
+	p       float64 // GRR keep-probability over [g]
+	src     ldprand.Source
+	support []float64 // per-value support tallies
+	n       int
+}
+
+// LHReport is the wire format of one local-hashing report.
+type LHReport struct {
+	Seed   uint64 // identifies the hash function the client drew
+	Bucket int    // GRR-perturbed h(v) in [0, g)
+}
+
+// NewOLH returns the optimized local hashing oracle with g = ⌈e^ε⌉+1.
+func NewOLH(epsilon float64, d int, src ldprand.Source) *LH {
+	checkParams(epsilon, d)
+	g := int(math.Ceil(math.Exp(epsilon))) + 1
+	if g < 2 {
+		g = 2
+	}
+	return newLH("OLH", epsilon, d, g, src)
+}
+
+// NewBLH returns binary local hashing (g = 2).
+func NewBLH(epsilon float64, d int, src ldprand.Source) *LH {
+	checkParams(epsilon, d)
+	return newLH("BLH", epsilon, d, 2, src)
+}
+
+// NewLH returns a local-hashing oracle with an explicit hash range g,
+// for the E3 ablation over g. g must be at least 2.
+func NewLH(epsilon float64, d, g int, src ldprand.Source) *LH {
+	checkParams(epsilon, d)
+	if g < 2 {
+		panic("freq: LH hash range must be at least 2")
+	}
+	return newLH("LH", epsilon, d, g, src)
+}
+
+func newLH(name string, epsilon float64, d, g int, src ldprand.Source) *LH {
+	expE := math.Exp(epsilon)
+	return &LH{
+		name:    name,
+		epsilon: epsilon,
+		d:       d,
+		g:       g,
+		p:       expE / (expE + float64(g) - 1),
+		src:     defaultSource(src),
+		support: make([]float64, d),
+	}
+}
+
+// Name implements Oracle.
+func (l *LH) Name() string { return l.name }
+
+// Epsilon implements Oracle.
+func (l *LH) Epsilon() float64 { return l.epsilon }
+
+// Domain implements Oracle.
+func (l *LH) Domain() int { return l.d }
+
+// G returns the hash range.
+func (l *LH) G() int { return l.g }
+
+// Privatize draws a fresh hash seed, hashes v into [g] and perturbs the
+// bucket with GRR over [g].
+func (l *LH) Privatize(v int) LHReport {
+	checkDomain(v, l.d)
+	seed := l.src.Uint64()
+	bucket := hashutil.HashIntRange(seed, v, l.g)
+	if !ldprand.Bernoulli(l.src, l.p) {
+		other := ldprand.Intn(l.src, l.g-1)
+		if other >= bucket {
+			other++
+		}
+		bucket = other
+	}
+	return LHReport{Seed: seed, Bucket: bucket}
+}
+
+// Aggregate adds support to every domain value consistent with the
+// report. This is the O(d) step of local hashing; the client side is
+// O(1).
+func (l *LH) Aggregate(r LHReport) {
+	if r.Bucket < 0 || r.Bucket >= l.g {
+		panic("freq: LH report bucket out of range")
+	}
+	for v := 0; v < l.d; v++ {
+		if hashutil.HashIntRange(r.Seed, v, l.g) == r.Bucket {
+			l.support[v]++
+		}
+	}
+	l.n++
+}
+
+// Collect implements Oracle.
+func (l *LH) Collect(v int) { l.Aggregate(l.Privatize(v)) }
+
+// Collected implements Oracle.
+func (l *LH) Collected() int { return l.n }
+
+// EstimateCounts implements Oracle. A value's report supports it with
+// probability p* = p if true, and q* = 1/g on average otherwise, giving
+// ĉ_v = (support_v − n/g) / (p − 1/g).
+func (l *LH) EstimateCounts() []float64 {
+	out := make([]float64, l.d)
+	q := 1 / float64(l.g)
+	den := l.p - q
+	for v, s := range l.support {
+		out[v] = (s - float64(l.n)*q) / den
+	}
+	return out
+}
+
+// TheoreticalVariance implements Oracle. In the f→0 approximation,
+// Var = n · q*(1−q*)/(p*−q*)² with q* = 1/g; for OLH's g = e^ε+1 this
+// becomes n·4e^ε/(e^ε−1)², matching OUE.
+func (l *LH) TheoreticalVariance(n int) float64 {
+	q := 1 / float64(l.g)
+	den := l.p - q
+	return float64(n) * q * (1 - q) / (den * den)
+}
+
+// ReportBits implements Oracle: a 64-bit seed plus the bucket. The seed
+// can be elided when derived from a shared per-user secret, so the
+// payload column in E13 reports both; here we count the payload bits
+// only, matching how the literature compares communication.
+func (l *LH) ReportBits() int { return bitsFor(l.g) }
+
+// Reset implements Oracle.
+func (l *LH) Reset() {
+	for i := range l.support {
+		l.support[i] = 0
+	}
+	l.n = 0
+}

@@ -1,0 +1,169 @@
+package freq
+
+import (
+	"math"
+
+	"repro/internal/ldprand"
+)
+
+// SS is the subset-selection mechanism (Ye–Barg; compared alongside
+// the Wang et al. family): the client reports a random k-subset of the
+// domain that contains the true value with probability
+// p = e^ε·k / (e^ε·k + d − k), with k ≈ d/(e^ε+1). Subset selection is
+// asymptotically optimal for small ε, at the cost of k·log₂(d)-bit
+// reports.
+type SS struct {
+	epsilon float64
+	d       int
+	k       int
+	p       float64 // Pr[true value included]
+	q       float64 // Pr[any other fixed value included]
+	src     ldprand.Source
+	support []int
+	n       int
+}
+
+// NewSS returns a subset-selection oracle with the variance-optimal
+// subset size k = max(1, round(d/(e^ε+1))).
+func NewSS(epsilon float64, d int, src ldprand.Source) *SS {
+	checkParams(epsilon, d)
+	k := int(math.Round(float64(d) / (math.Exp(epsilon) + 1)))
+	if k < 1 {
+		k = 1
+	}
+	if k >= d {
+		k = d - 1
+	}
+	return NewSSWithK(epsilon, d, k, src)
+}
+
+// NewSSWithK returns a subset-selection oracle with an explicit subset
+// size, for ablations. k must be in [1, d).
+func NewSSWithK(epsilon float64, d, k int, src ldprand.Source) *SS {
+	checkParams(epsilon, d)
+	if k < 1 || k >= d {
+		panic("freq: SS subset size must be in [1, d)")
+	}
+	expE := math.Exp(epsilon)
+	kf, df := float64(k), float64(d)
+	p := expE * kf / (expE*kf + df - kf)
+	// Pr[u in S | true != u] = p·(k−1)/(d−1) + (1−p)·k/(d−1).
+	q := (p*(kf-1) + (1-p)*kf) / (df - 1)
+	return &SS{
+		epsilon: epsilon,
+		d:       d,
+		k:       k,
+		p:       p,
+		q:       q,
+		src:     defaultSource(src),
+		support: make([]int, d),
+	}
+}
+
+// Name implements Oracle.
+func (s *SS) Name() string { return "SS" }
+
+// Epsilon implements Oracle.
+func (s *SS) Epsilon() float64 { return s.epsilon }
+
+// Domain implements Oracle.
+func (s *SS) Domain() int { return s.d }
+
+// K returns the subset size.
+func (s *SS) K() int { return s.k }
+
+// P returns Pr[true value ∈ subset].
+func (s *SS) P() float64 { return s.p }
+
+// Q returns Pr[other fixed value ∈ subset].
+func (s *SS) Q() float64 { return s.q }
+
+// Privatize reports a random k-subset (sorted ascending): with
+// probability p the true value plus k−1 uniform others, otherwise k
+// uniform values excluding the truth.
+func (s *SS) Privatize(v int) []int {
+	checkDomain(v, s.d)
+	include := ldprand.Bernoulli(s.src, s.p)
+	need := s.k
+	out := make([]int, 0, s.k)
+	if include {
+		out = append(out, v)
+		need--
+	}
+	// Reservoir-free uniform sample of `need` values from [0,d)\{v}.
+	chosen := make(map[int]bool, need)
+	for len(chosen) < need {
+		u := ldprand.Intn(s.src, s.d-1)
+		if u >= v {
+			u++
+		}
+		chosen[u] = true
+	}
+	for u := range chosen {
+		out = append(out, u)
+	}
+	sortInts(out)
+	return out
+}
+
+// Aggregate folds one subset report into the support tallies. Reports
+// must be k distinct in-domain values.
+func (s *SS) Aggregate(report []int) {
+	if len(report) != s.k {
+		panic("freq: SS report size mismatch")
+	}
+	seen := make(map[int]bool, s.k)
+	for _, u := range report {
+		checkDomain(u, s.d)
+		if seen[u] {
+			panic("freq: SS report has duplicate values")
+		}
+		seen[u] = true
+		s.support[u]++
+	}
+	s.n++
+}
+
+// Collect implements Oracle.
+func (s *SS) Collect(v int) { s.Aggregate(s.Privatize(v)) }
+
+// Collected implements Oracle.
+func (s *SS) Collected() int { return s.n }
+
+// EstimateCounts implements Oracle: ĉ_v = (support_v − n·q)/(p − q).
+func (s *SS) EstimateCounts() []float64 {
+	out := make([]float64, s.d)
+	den := s.p - s.q
+	for v, c := range s.support {
+		out[v] = (float64(c) - float64(s.n)*s.q) / den
+	}
+	return out
+}
+
+// TheoreticalVariance implements Oracle: n·q(1−q)/(p−q)² in the f→0
+// approximation.
+func (s *SS) TheoreticalVariance(n int) float64 {
+	den := s.p - s.q
+	return float64(n) * s.q * (1 - s.q) / (den * den)
+}
+
+// ReportBits implements Oracle: k values of log₂(d) bits.
+func (s *SS) ReportBits() int { return s.k * bitsFor(s.d) }
+
+// Reset implements Oracle.
+func (s *SS) Reset() {
+	for i := range s.support {
+		s.support[i] = 0
+	}
+	s.n = 0
+}
+
+// sortInts is an insertion sort: subset sizes are small and this keeps
+// the package free of a sort dependency on the hot path.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

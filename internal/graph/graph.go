@@ -1,0 +1,197 @@
+// Package graph implements LDP graph analytics (§1.3, after Qin et
+// al., CCS 2017): degree estimation under edge-LDP via per-user noisy
+// degrees, degree-distribution reconstruction, and LDPGen-style
+// synthetic graph generation — users are clustered by noisy degree
+// vectors toward cluster anchors, and a Chung–Lu graph is sampled from
+// the estimated block structure.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ldprand"
+	"repro/internal/workload"
+)
+
+// NoisyDegrees returns each vertex's degree plus Laplace(1/ε) noise —
+// edge-LDP with sensitivity 1 (one edge changes a degree by one).
+func NoisyDegrees(epsilon float64, g *workload.Graph, src ldprand.Source) []float64 {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		panic("graph: epsilon must be positive and finite")
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	out := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		out[v] = float64(g.Degree(v)) + ldprand.Laplace(src, 1/epsilon)
+	}
+	return out
+}
+
+// DegreeDistribution turns noisy degrees into an estimated degree
+// histogram over [0, maxDegree]: noisy values are rounded and clamped,
+// a simple consistent post-processing step.
+func DegreeDistribution(noisy []float64, maxDegree int) []float64 {
+	hist := make([]float64, maxDegree+1)
+	if len(noisy) == 0 {
+		return hist
+	}
+	for _, d := range noisy {
+		k := int(math.Round(d))
+		if k < 0 {
+			k = 0
+		}
+		if k > maxDegree {
+			k = maxDegree
+		}
+		hist[k]++
+	}
+	for i := range hist {
+		hist[i] /= float64(len(noisy))
+	}
+	return hist
+}
+
+// TrueDegreeDistribution computes the exact degree histogram.
+func TrueDegreeDistribution(g *workload.Graph, maxDegree int) []float64 {
+	hist := make([]float64, maxDegree+1)
+	if g.N == 0 {
+		return hist
+	}
+	for v := 0; v < g.N; v++ {
+		k := g.Degree(v)
+		if k > maxDegree {
+			k = maxDegree
+		}
+		hist[k]++
+	}
+	for i := range hist {
+		hist[i] /= float64(g.N)
+	}
+	return hist
+}
+
+// GenParams configures LDPGen-style synthetic graph generation.
+type GenParams struct {
+	Epsilon  float64 // total per-user budget, split across two phases
+	Clusters int     // number of degree-based clusters
+}
+
+// Validate checks parameter ranges.
+func (p GenParams) Validate() error {
+	if p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0) {
+		return fmt.Errorf("graph: epsilon must be positive and finite")
+	}
+	if p.Clusters < 1 {
+		return fmt.Errorf("graph: need at least 1 cluster, got %d", p.Clusters)
+	}
+	return nil
+}
+
+// Generate builds a synthetic graph resembling g without the collector
+// ever seeing raw adjacency: phase 1 collects noisy total degrees
+// (ε/2) and partitions users into degree quantile clusters; phase 2
+// collects each user's noisy edge count toward every cluster (ε/2,
+// sensitivity 1 per edge move split across the vector by Laplace with
+// scale 2·Clusters/ε); the synthetic graph is sampled from the
+// estimated block model with per-vertex expected degrees (Chung–Lu
+// within blocks).
+func Generate(params GenParams, g *workload.Graph, src ldprand.Source) (*workload.Graph, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	n := g.N
+	if n == 0 {
+		return workload.NewGraph(0), nil
+	}
+	k := params.Clusters
+	if k > n {
+		k = n
+	}
+	epsPhase := params.Epsilon / 2
+
+	// Phase 1: noisy degrees, quantile clustering.
+	noisy := NoisyDegrees(epsPhase, g, src)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return noisy[order[a]] < noisy[order[b]] })
+	clusterOf := make([]int, n)
+	for rank, v := range order {
+		clusterOf[v] = rank * k / n
+	}
+
+	// Phase 2: noisy per-cluster edge counts. Moving one edge changes
+	// two entries of the vector by 1 each (L1 sensitivity 2), so each
+	// entry gets Laplace(2/ε_phase).
+	blockDegree := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		vec := make([]float64, k)
+		for u := range g.Adj[v] {
+			vec[clusterOf[u]]++
+		}
+		for c := range vec {
+			vec[c] += ldprand.Laplace(src, 2/epsPhase)
+			if vec[c] < 0 {
+				vec[c] = 0
+			}
+		}
+		blockDegree[v] = vec
+	}
+
+	// Expected edges between clusters and per-vertex weights.
+	clusterMembers := make([][]int, k)
+	for v, c := range clusterOf {
+		clusterMembers[c] = append(clusterMembers[c], v)
+	}
+	// wSum[a][b] = estimated total edge endpoints from cluster a into b.
+	wSum := make([][]float64, k)
+	for a := range wSum {
+		wSum[a] = make([]float64, k)
+	}
+	for v := 0; v < n; v++ {
+		a := clusterOf[v]
+		for b := 0; b < k; b++ {
+			wSum[a][b] += blockDegree[v][b]
+		}
+	}
+
+	// Chung–Lu sampling within each cluster pair: edge (u,v) for u in a,
+	// v in b appears with probability w_u(b)·w_v(a)/wSum, capped at 1.
+	syn := workload.NewGraph(n)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			// Symmetrize the two directional estimates.
+			total := (wSum[a][b] + wSum[b][a]) / 2
+			if total <= 0 {
+				continue
+			}
+			for _, u := range clusterMembers[a] {
+				for _, v := range clusterMembers[b] {
+					// Within a cluster every unordered pair shows up
+					// twice, so keep only u < v; across clusters the
+					// member sets are disjoint and each pair appears
+					// exactly once.
+					if a == b && u >= v {
+						continue
+					}
+					p := blockDegree[u][b] * blockDegree[v][a] / total
+					if p > 1 {
+						p = 1
+					}
+					if ldprand.Bernoulli(src, p) {
+						syn.AddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	return syn, nil
+}

@@ -1,0 +1,118 @@
+// Package hashutil provides the seeded hash families shared by the
+// sketching and local-hashing mechanisms.
+//
+// Optimized Local Hashing (OLH), Bloom filters and the Apple count-mean
+// sketch all assume a publicly known family {H_s} of hash functions from
+// an item domain into a small range [m], indexed by a seed that travels
+// with each report. The families here are built on FNV-1a mixing with a
+// 64-bit finalizer, which empirically behaves as a universal family for
+// the ranges used in LDP protocols, plus an exact pairwise-independent
+// family over a Mersenne-prime field for code that needs provable
+// 2-independence.
+package hashutil
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Hash64 hashes an arbitrary byte string with a 64-bit seed.
+func Hash64(seed uint64, data []byte) uint64 {
+	h := fnv.New64a()
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seed)
+	h.Write(s[:])
+	h.Write(data)
+	return mix64(h.Sum64())
+}
+
+// HashInt64 hashes an integer item with a 64-bit seed. It avoids
+// allocating for the common case of integer-encoded domains.
+func HashInt64(seed uint64, item int) uint64 {
+	x := uint64(item)
+	x ^= seed + 0x9e3779b97f4a7c15
+	x = mix64(x)
+	x ^= seed<<32 | seed>>32
+	return mix64(x)
+}
+
+// Range maps a 64-bit hash onto [0, m) without modulo bias, using the
+// multiply-shift reduction.
+func Range(h uint64, m int) int {
+	hi, _ := mul128(h, uint64(m))
+	return int(hi)
+}
+
+// HashIntRange hashes an integer item into [0, m) under the given seed.
+func HashIntRange(seed uint64, item, m int) int {
+	return Range(HashInt64(seed, item), m)
+}
+
+// HashBytesRange hashes a byte string into [0, m) under the given seed.
+func HashBytesRange(seed uint64, data []byte, m int) int {
+	return Range(Hash64(seed, data), m)
+}
+
+// mix64 is the SplitMix64 finalizer, a strong 64-bit bijective mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hiPart := t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + hiPart + t>>32
+	return hi, lo
+}
+
+// Pairwise is an exactly pairwise-independent hash family
+// h(x) = ((a·x + b) mod p) mod m over the Mersenne prime p = 2^61 − 1.
+// Draw a fresh (A, B) per function instance; A must be in [1, p), B in
+// [0, p).
+type Pairwise struct {
+	A, B uint64 // coefficients; A in [1,p), B in [0,p)
+	M    int    // output range
+}
+
+// MersennePrime61 is the field modulus of the Pairwise family.
+const MersennePrime61 = (1 << 61) - 1
+
+// NewPairwise derives a pairwise-independent function from two random
+// words, reducing them into the valid coefficient ranges, with output
+// range m.
+func NewPairwise(r1, r2 uint64, m int) Pairwise {
+	a := r1%(MersennePrime61-1) + 1 // [1, p)
+	b := r2 % MersennePrime61       // [0, p)
+	return Pairwise{A: a, B: b, M: m}
+}
+
+// Hash evaluates the function at x.
+func (pw Pairwise) Hash(x uint64) int {
+	v := modMulAdd(pw.A, x%MersennePrime61, pw.B)
+	return int(v % uint64(pw.M))
+}
+
+// modMulAdd computes (a*x + b) mod (2^61 - 1) without overflow, using the
+// Mersenne reduction (hi<<3 | lo-part folding).
+func modMulAdd(a, x, b uint64) uint64 {
+	hi, lo := mul128(a, x)
+	// 2^64 ≡ 2^3 (mod 2^61-1), so fold: value = hi*2^64 + lo.
+	res := (lo & MersennePrime61) + (lo >> 61) + (hi<<3)&MersennePrime61 + hi>>58
+	res += b
+	for res >= MersennePrime61 {
+		res -= MersennePrime61
+	}
+	return res
+}

@@ -1,0 +1,263 @@
+// Package heavyhitters identifies frequent items from domains far too
+// large to enumerate — the problem behind RAPPOR's unknown-dictionary
+// work and Apple's new-words discovery, and a research thread the
+// tutorial follows through Bassily–Smith, Qin et al. and Wang et al.
+// (§1.2).
+//
+// Two protocols are implemented:
+//
+//   - PEM, the prefix extending method: items are B-bit strings; user
+//     groups reveal progressively longer prefixes through a local-hashing
+//     oracle, and only children of surviving prefixes are considered at
+//     the next level, keeping every level's candidate set small.
+//
+//   - SFP, a sequence fragment puzzle in the style of Apple's discovery
+//     pipeline: users report one random fragment of their word tagged
+//     with a short hash of the whole word; fragments sharing a tag are
+//     assembled into candidate words and verified with a second oracle.
+package heavyhitters
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashutil"
+	"repro/internal/ldprand"
+)
+
+// Hit is one discovered heavy hitter with its estimated count.
+type Hit struct {
+	Value uint64  // the item (bit-string domain)
+	Count float64 // estimated number of holders
+}
+
+// lhReport is a local-hashing report over an implicit uint64 domain:
+// the server can test support of any candidate value.
+type lhReport struct {
+	seed   uint64
+	bucket int
+}
+
+// lhMechanism privatizes uint64 values with OLH and estimates counts
+// over explicit candidate sets — the building block both protocols
+// share.
+type lhMechanism struct {
+	epsilon float64
+	g       int
+	p       float64
+}
+
+func newLHMechanism(epsilon float64) lhMechanism {
+	g := int(math.Ceil(math.Exp(epsilon))) + 1
+	if g < 2 {
+		g = 2
+	}
+	expE := math.Exp(epsilon)
+	return lhMechanism{epsilon: epsilon, g: g, p: expE / (expE + float64(g) - 1)}
+}
+
+func (m lhMechanism) privatize(v uint64, src ldprand.Source) lhReport {
+	seed := src.Uint64()
+	bucket := hashutil.Range(hashutil.HashInt64(seed, int(v)), m.g)
+	if !ldprand.Bernoulli(src, m.p) {
+		other := ldprand.Intn(src, m.g-1)
+		if other >= bucket {
+			other++
+		}
+		bucket = other
+	}
+	return lhReport{seed: seed, bucket: bucket}
+}
+
+// estimate returns estimated counts of each candidate among the
+// reports.
+func (m lhMechanism) estimate(reports []lhReport, candidates []uint64) []float64 {
+	support := make([]float64, len(candidates))
+	for _, r := range reports {
+		for i, c := range candidates {
+			if hashutil.Range(hashutil.HashInt64(r.seed, int(c)), m.g) == r.bucket {
+				support[i]++
+			}
+		}
+	}
+	q := 1 / float64(m.g)
+	den := m.p - q
+	n := float64(len(reports))
+	out := make([]float64, len(candidates))
+	for i, s := range support {
+		out[i] = (s - n*q) / den
+	}
+	return out
+}
+
+// PEMParams configures the prefix extending method.
+type PEMParams struct {
+	Epsilon float64 // per-user budget (each user reports once)
+	Bits    int     // item length in bits, 1..63
+	Levels  int     // number of user groups / prefix stages
+	K       int     // heavy hitters to return
+	// CandidateBudget caps the surviving prefixes per level. Zero means
+	// 2·K, the customary setting.
+	CandidateBudget int
+}
+
+// Validate checks parameter ranges.
+func (p PEMParams) Validate() error {
+	switch {
+	case p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0):
+		return fmt.Errorf("heavyhitters: epsilon must be positive and finite")
+	case p.Bits < 1 || p.Bits > 63:
+		return fmt.Errorf("heavyhitters: Bits must be in [1,63], got %d", p.Bits)
+	case p.Levels < 1 || p.Levels > p.Bits:
+		return fmt.Errorf("heavyhitters: Levels must be in [1,Bits], got %d", p.Levels)
+	case p.K < 1:
+		return fmt.Errorf("heavyhitters: K must be positive, got %d", p.K)
+	case p.CandidateBudget < 0:
+		return fmt.Errorf("heavyhitters: CandidateBudget must be non-negative")
+	}
+	return nil
+}
+
+func (p PEMParams) budget() int {
+	if p.CandidateBudget == 0 {
+		return 2 * p.K
+	}
+	return p.CandidateBudget
+}
+
+// prefixLen returns the prefix length examined at level i (0-based),
+// spreading Bits evenly across Levels and always ending at Bits.
+func (p PEMParams) prefixLen(i int) int {
+	return p.Bits * (i + 1) / p.Levels
+}
+
+// FindPEM runs the prefix extending method over the users' values.
+// Each user participates in exactly one level (single report, full ε).
+// It returns up to K heavy hitters sorted by decreasing estimated
+// count, with counts scaled back to the full population.
+func FindPEM(params PEMParams, values []uint64, src ldprand.Source) ([]Hit, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	for _, v := range values {
+		if params.Bits < 64 && v >= 1<<uint(params.Bits) {
+			return nil, fmt.Errorf("heavyhitters: value %d exceeds %d bits", v, params.Bits)
+		}
+	}
+	mech := newLHMechanism(params.Epsilon)
+	n := len(values)
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Shuffle users into level groups so skewed input order cannot bias
+	// a level.
+	order := ldprand.Perm(src, n)
+	groupOf := func(u int) int { return order[u] * params.Levels / n }
+
+	// Privatize: each user reports its prefix at its level.
+	reportsAt := make([][]lhReport, params.Levels)
+	for u, v := range values {
+		lvl := groupOf(u)
+		shift := uint(params.Bits - params.prefixLen(lvl))
+		reportsAt[lvl] = append(reportsAt[lvl], mech.privatize(v>>shift, src))
+	}
+
+	// Extend prefixes level by level.
+	candidates := []uint64{0} // the empty prefix
+	prevLen := 0
+	var lastCounts []float64
+	for lvl := 0; lvl < params.Levels; lvl++ {
+		plen := params.prefixLen(lvl)
+		grow := plen - prevLen
+		next := make([]uint64, 0, len(candidates)<<uint(grow))
+		for _, c := range candidates {
+			base := c << uint(grow)
+			for ext := uint64(0); ext < 1<<uint(grow); ext++ {
+				next = append(next, base|ext)
+			}
+		}
+		counts := mech.estimate(reportsAt[lvl], next)
+		// Keep the top candidates for the next level.
+		idx := make([]int, len(next))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return counts[idx[a]] > counts[idx[b]] })
+		keep := params.budget()
+		if lvl == params.Levels-1 {
+			keep = params.K
+		}
+		if keep > len(idx) {
+			keep = len(idx)
+		}
+		kept := make([]uint64, keep)
+		keptCounts := make([]float64, keep)
+		for i := 0; i < keep; i++ {
+			kept[i] = next[idx[i]]
+			keptCounts[i] = counts[idx[i]]
+		}
+		candidates, lastCounts = kept, keptCounts
+		prevLen = plen
+	}
+
+	// Scale the last level's counts (estimated within its group) to the
+	// full population.
+	scale := float64(n) / float64(maxInt(len(reportsAt[params.Levels-1]), 1))
+	hits := make([]Hit, 0, len(candidates))
+	for i, c := range candidates {
+		if lastCounts[i] <= 0 {
+			continue
+		}
+		hits = append(hits, Hit{Value: c, Count: lastCounts[i] * scale})
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Count > hits[b].Count })
+	return hits, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BaselineGRR finds heavy hitters by running plain OLH over the whole
+// 2^Bits domain — feasible only for small Bits, and the baseline E6
+// compares PEM against.
+func BaselineGRR(epsilon float64, bits, k int, values []uint64, src ldprand.Source) ([]Hit, error) {
+	if bits < 1 || bits > 20 {
+		return nil, fmt.Errorf("heavyhitters: baseline requires Bits in [1,20], got %d", bits)
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	mech := newLHMechanism(epsilon)
+	reports := make([]lhReport, len(values))
+	for i, v := range values {
+		reports[i] = mech.privatize(v, src)
+	}
+	d := 1 << uint(bits)
+	candidates := make([]uint64, d)
+	for i := range candidates {
+		candidates[i] = uint64(i)
+	}
+	counts := mech.estimate(reports, candidates)
+	hits := make([]Hit, 0, k)
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return counts[idx[a]] > counts[idx[b]] })
+	for i := 0; i < k && i < d; i++ {
+		if counts[idx[i]] <= 0 {
+			break
+		}
+		hits = append(hits, Hit{Value: uint64(idx[i]), Count: counts[idx[i]]})
+	}
+	return hits, nil
+}

@@ -1,0 +1,121 @@
+package heavyhitters
+
+import (
+	"testing"
+
+	"repro/internal/ldprand"
+	"repro/internal/workload"
+)
+
+func sfpParams() SFPParams {
+	return SFPParams{Epsilon: 4, WordLen: 6, HashBits: 6, K: 3, Seed: 77}
+}
+
+func TestSFPParamsValidate(t *testing.T) {
+	if err := sfpParams().Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	bad := []SFPParams{
+		{Epsilon: 0, WordLen: 6, HashBits: 4, K: 1},
+		{Epsilon: 1, WordLen: 0, HashBits: 4, K: 1},
+		{Epsilon: 1, WordLen: 20, HashBits: 4, K: 1},
+		{Epsilon: 1, WordLen: 6, HashBits: 0, K: 1},
+		{Epsilon: 1, WordLen: 6, HashBits: 16, K: 1},
+		{Epsilon: 1, WordLen: 6, HashBits: 4, K: 0},
+		{Epsilon: 1, WordLen: 6, HashBits: 4, K: 1, Threshold: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSFPDiscoversFrequentWords(t *testing.T) {
+	// Three words dominate; SFP must surface the most frequent without
+	// a candidate dictionary.
+	params := sfpParams()
+	pool := workload.Words(2000)
+	src := ldprand.NewSplitMix64(11)
+	const n = 60000
+	words := make([]string, n)
+	for i := range words {
+		r := ldprand.Float64(src)
+		switch {
+		case r < 0.35:
+			words[i] = pool[100]
+		case r < 0.6:
+			words[i] = pool[500]
+		case r < 0.8:
+			words[i] = pool[900]
+		default:
+			words[i] = pool[ldprand.Intn(src, len(pool))]
+		}
+	}
+	hits, err := FindSFP(params, words, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no words discovered")
+	}
+	found := false
+	for _, h := range hits {
+		if h.Word == pool[100] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("most frequent word %q not discovered; hits=%v", pool[100], hits)
+	}
+}
+
+func TestSFPRejectsWrongLength(t *testing.T) {
+	if _, err := FindSFP(sfpParams(), []string{"short"}, ldprand.NewSplitMix64(1)); err == nil {
+		t.Fatal("wrong-length word accepted")
+	}
+}
+
+func TestSFPRejectsNonAlpha(t *testing.T) {
+	if _, err := FindSFP(sfpParams(), []string{"abc12f"}, ldprand.NewSplitMix64(1)); err == nil {
+		t.Fatal("non-alpha word accepted")
+	}
+}
+
+func TestSFPEmptyInput(t *testing.T) {
+	hits, err := FindSFP(sfpParams(), nil, ldprand.NewSplitMix64(1))
+	if err != nil || hits != nil {
+		t.Fatalf("empty input: hits=%v err=%v", hits, err)
+	}
+}
+
+func TestSFPTagStable(t *testing.T) {
+	p := sfpParams()
+	if p.tag("abcdef") != p.tag("abcdef") {
+		t.Fatal("tag not deterministic")
+	}
+	if p.tag("abcdef") >= 1<<uint(p.HashBits) {
+		t.Fatal("tag out of range")
+	}
+}
+
+func TestSFPHitsSorted(t *testing.T) {
+	pool := workload.Words(100)
+	src := ldprand.NewSplitMix64(13)
+	words := make([]string, 20000)
+	for i := range words {
+		words[i] = pool[ldprand.Intn(src, 5)] // five frequent words
+	}
+	hits, err := FindSFP(sfpParams(), words, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Count > hits[i-1].Count {
+			t.Fatalf("hits not sorted: %v", hits)
+		}
+	}
+	if len(hits) > sfpParams().K {
+		t.Fatalf("returned %d hits, K=%d", len(hits), sfpParams().K)
+	}
+}

@@ -1,0 +1,157 @@
+// Package hybrid implements a BLENDER-style hybrid privacy model
+// (§1.4, after Avent et al., USENIX Security 2017): a small opt-in
+// group trusts the aggregator and contributes under central DP, the
+// rest contribute under LDP, and the server blends the two unbiased
+// estimates with inverse-variance weights — strictly better than
+// either population alone.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/central"
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+)
+
+// Params configures a hybrid histogram collection.
+type Params struct {
+	Epsilon float64 // the same ε applies to both groups
+	Domain  int     // histogram domain size
+	OptIn   float64 // fraction of users in the trusted group, [0,1]
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	switch {
+	case p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0):
+		return fmt.Errorf("hybrid: epsilon must be positive and finite")
+	case p.Domain < 2:
+		return fmt.Errorf("hybrid: domain must be at least 2, got %d", p.Domain)
+	case p.OptIn < 0 || p.OptIn > 1:
+		return fmt.Errorf("hybrid: OptIn must be in [0,1], got %v", p.OptIn)
+	}
+	return nil
+}
+
+// Collector routes users to the opt-in or local group and produces the
+// blended histogram estimate.
+type Collector struct {
+	params Params
+	src    ldprand.Source
+	// Opt-in group: raw counts, noised once at estimation time.
+	optCounts []int
+	optN      int
+	// Local group: an OLH oracle.
+	local   freq.Oracle
+	laplace *central.LaplaceMechanism
+}
+
+// NewCollector returns a hybrid collector. A nil source selects
+// crypto/rand.
+func NewCollector(params Params, src ldprand.Source) (*Collector, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	return &Collector{
+		params:    params,
+		src:       src,
+		optCounts: make([]int, params.Domain),
+		local:     freq.NewOLH(params.Epsilon, params.Domain, src),
+		laplace:   central.NewLaplace(params.Epsilon, 1, src),
+	}, nil
+}
+
+// Collect routes one user: with probability OptIn the raw value goes to
+// the trusted aggregator, otherwise an LDP report is produced.
+func (c *Collector) Collect(v int) {
+	if v < 0 || v >= c.params.Domain {
+		panic(fmt.Sprintf("hybrid: value %d outside domain [0,%d)", v, c.params.Domain))
+	}
+	if ldprand.Bernoulli(c.src, c.params.OptIn) {
+		c.optCounts[v]++
+		c.optN++
+	} else {
+		c.local.Collect(v)
+	}
+}
+
+// Collected returns (optIn, local) report counts.
+func (c *Collector) Collected() (optIn, local int) {
+	return c.optN, c.local.Collected()
+}
+
+// EstimateCounts returns the blended estimated counts over the full
+// population. Each group's frequency estimate is unbiased; blending
+// weights are inverse variances of the *frequency* estimators, which
+// is the variance-minimizing combination of independent unbiased
+// estimates.
+func (c *Collector) EstimateCounts() []float64 {
+	nOpt := c.optN
+	nLoc := c.local.Collected()
+	total := nOpt + nLoc
+	out := make([]float64, c.params.Domain)
+	if total == 0 {
+		return out
+	}
+	// Frequency-estimator variances (approximate, frequency-independent).
+	varOpt := math.Inf(1)
+	if nOpt > 0 {
+		varOpt = c.laplace.Variance() / (float64(nOpt) * float64(nOpt))
+	}
+	varLoc := math.Inf(1)
+	if nLoc > 0 {
+		varLoc = c.local.TheoreticalVariance(nLoc) / (float64(nLoc) * float64(nLoc))
+	}
+	wOpt, wLoc := blendWeights(varOpt, varLoc)
+
+	var localFreqs []float64
+	if nLoc > 0 {
+		localFreqs = freq.EstimateFrequencies(c.local.EstimateCounts(), nLoc)
+	}
+	for v := 0; v < c.params.Domain; v++ {
+		var fOpt, fLoc float64
+		if nOpt > 0 {
+			fOpt = c.laplace.Release(float64(c.optCounts[v])) / float64(nOpt)
+		}
+		if nLoc > 0 {
+			fLoc = localFreqs[v]
+		}
+		out[v] = (wOpt*fOpt + wLoc*fLoc) * float64(total)
+	}
+	return out
+}
+
+// blendWeights returns normalized inverse-variance weights, handling
+// the degenerate one-group cases.
+func blendWeights(varA, varB float64) (wA, wB float64) {
+	aInf, bInf := math.IsInf(varA, 1), math.IsInf(varB, 1)
+	switch {
+	case aInf && bInf:
+		return 0, 0
+	case aInf:
+		return 0, 1
+	case bInf:
+		return 1, 0
+	}
+	ia, ib := 1/varA, 1/varB
+	return ia / (ia + ib), ib / (ia + ib)
+}
+
+// GroupVariances exposes the per-group frequency variances the blend
+// uses, for the E10 report.
+func (c *Collector) GroupVariances() (optIn, local float64) {
+	nOpt, nLoc := c.optN, c.local.Collected()
+	optIn, local = math.Inf(1), math.Inf(1)
+	if nOpt > 0 {
+		optIn = c.laplace.Variance() / (float64(nOpt) * float64(nOpt))
+	}
+	if nLoc > 0 {
+		local = c.local.TheoreticalVariance(nLoc) / (float64(nLoc) * float64(nLoc))
+	}
+	return optIn, local
+}

@@ -1,0 +1,138 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ldprand"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Epsilon: 1, Domain: 4, OptIn: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Epsilon: 0, Domain: 4, OptIn: 0.1},
+		{Epsilon: 1, Domain: 1, OptIn: 0.1},
+		{Epsilon: 1, Domain: 4, OptIn: -0.1},
+		{Epsilon: 1, Domain: 4, OptIn: 1.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCollectRouting(t *testing.T) {
+	c, err := NewCollector(Params{Epsilon: 1, Domain: 4, OptIn: 0.25}, ldprand.NewSplitMix64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		c.Collect(i % 4)
+	}
+	opt, loc := c.Collected()
+	if opt+loc != n {
+		t.Fatalf("split %d+%d != %d", opt, loc, n)
+	}
+	frac := float64(opt) / n
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("opt-in fraction %.3f want 0.25", frac)
+	}
+}
+
+func TestBlendedEstimateAccuracy(t *testing.T) {
+	src := ldprand.NewSplitMix64(2)
+	zipf := workload.NewZipf(src, 1.2, 8)
+	c, _ := NewCollector(Params{Epsilon: 1, Domain: 8, OptIn: 0.1}, src)
+	const n = 40000
+	truth := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		v := zipf.Next()
+		truth[v]++
+		c.Collect(v)
+	}
+	est := c.EstimateCounts()
+	if tv := stats.TotalVariation(est, truth); tv > 0.05 {
+		t.Errorf("blended TV %.4f too large", tv)
+	}
+}
+
+func TestHybridBeatsPureLocalWithOptIn(t *testing.T) {
+	// The E10 claim: with a meaningful opt-in group, the blend's
+	// variance is dominated by the (much more accurate) central group,
+	// so the hybrid beats pure LDP. Compare analytic group variances.
+	c, _ := NewCollector(Params{Epsilon: 1, Domain: 8, OptIn: 0.1}, ldprand.NewSplitMix64(3))
+	const n = 50000
+	src := ldprand.NewSplitMix64(4)
+	for i := 0; i < n; i++ {
+		c.Collect(ldprand.Intn(src, 8))
+	}
+	vOpt, vLoc := c.GroupVariances()
+	if !(vOpt < vLoc) {
+		t.Errorf("central group variance %.3g should beat local %.3g at 10%% opt-in", vOpt, vLoc)
+	}
+}
+
+func TestPureModes(t *testing.T) {
+	// OptIn = 0 and OptIn = 1 must both work (degenerate blends).
+	for _, optIn := range []float64{0, 1} {
+		c, _ := NewCollector(Params{Epsilon: 2, Domain: 4, OptIn: optIn}, ldprand.NewSplitMix64(5))
+		const n = 20000
+		truth := make([]float64, 4)
+		src := ldprand.NewSplitMix64(6)
+		for i := 0; i < n; i++ {
+			v := ldprand.Intn(src, 4)
+			truth[v]++
+			c.Collect(v)
+		}
+		est := c.EstimateCounts()
+		if tv := stats.TotalVariation(est, truth); tv > 0.08 {
+			t.Errorf("optIn=%v: TV %.4f", optIn, tv)
+		}
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c, _ := NewCollector(Params{Epsilon: 1, Domain: 3, OptIn: 0.5}, ldprand.NewSplitMix64(7))
+	est := c.EstimateCounts()
+	for _, v := range est {
+		if v != 0 {
+			t.Fatal("empty collector should estimate zeros")
+		}
+	}
+}
+
+func TestCollectPanicsOutOfDomain(t *testing.T) {
+	c, _ := NewCollector(Params{Epsilon: 1, Domain: 3, OptIn: 0.5}, ldprand.NewSplitMix64(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Collect(3)
+}
+
+func TestBlendWeights(t *testing.T) {
+	wa, wb := blendWeights(1, 1)
+	if wa != 0.5 || wb != 0.5 {
+		t.Errorf("equal variances: %v %v", wa, wb)
+	}
+	wa, wb = blendWeights(1, 3)
+	if math.Abs(wa-0.75) > 1e-12 || math.Abs(wb-0.25) > 1e-12 {
+		t.Errorf("1:3 variances: %v %v", wa, wb)
+	}
+	wa, wb = blendWeights(math.Inf(1), 2)
+	if wa != 0 || wb != 1 {
+		t.Errorf("infinite varA: %v %v", wa, wb)
+	}
+	wa, wb = blendWeights(math.Inf(1), math.Inf(1))
+	if wa != 0 || wb != 0 {
+		t.Errorf("both infinite: %v %v", wa, wb)
+	}
+}

@@ -1,0 +1,219 @@
+// Package itemset implements frequency estimation over set-valued
+// data in the style of LDPMiner (Qin et al., CCS 2016, reference [19]
+// of the tutorial): each user holds a *set* of items (apps installed,
+// emojis typed, pages visited) rather than a single value.
+//
+// The core primitive is padding-and-sampling: the user pads or
+// truncates their set to a fixed public length L, samples one element
+// uniformly, and reports it through a single-item frequency oracle
+// with the full budget. Scaling estimates by L recovers unbiased item
+// counts for users with |set| <= L, at variance L² times the
+// single-item case — the price of set-valued inputs.
+//
+// FindTopK runs the two-phase LDPMiner flow: half the users locate a
+// candidate set with padding-and-sampling over the full domain, and
+// the other half re-estimates only the candidates, whose much smaller
+// domain makes the second phase far more accurate.
+package itemset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+)
+
+// Params configures padding-and-sampling collection.
+type Params struct {
+	Epsilon float64 // per-user budget (one report per user)
+	Domain  int     // item universe size
+	PadLen  int     // public padding length L
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	switch {
+	case p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0):
+		return fmt.Errorf("itemset: epsilon must be positive and finite")
+	case p.Domain < 2:
+		return fmt.Errorf("itemset: domain must be at least 2, got %d", p.Domain)
+	case p.PadLen < 1:
+		return fmt.Errorf("itemset: PadLen must be at least 1, got %d", p.PadLen)
+	}
+	return nil
+}
+
+// Collector estimates item counts from padded-and-sampled reports. The
+// padding element is a dedicated ⊥ value outside the item domain, so
+// its reports only add background noise that the oracle debiases away.
+type Collector struct {
+	params Params
+	oracle freq.Oracle
+	src    ldprand.Source
+}
+
+// NewCollector returns a set-valued collector using OLH over the
+// domain plus the padding symbol. A nil source selects crypto/rand.
+func NewCollector(params Params, src ldprand.Source) (*Collector, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	// Domain + 1: the extra value is the padding symbol ⊥.
+	return &Collector{
+		params: params,
+		oracle: freq.NewOLH(params.Epsilon, params.Domain+1, src),
+		src:    src,
+	}, nil
+}
+
+// Collect privatizes one user's item set. Sets larger than PadLen are
+// truncated by uniform sampling (the standard protocol); empty sets
+// report the padding symbol.
+func (c *Collector) Collect(items []int) error {
+	for _, it := range items {
+		if it < 0 || it >= c.params.Domain {
+			return fmt.Errorf("itemset: item %d outside domain [0,%d)", it, c.params.Domain)
+		}
+	}
+	pad := c.params.Domain // the ⊥ symbol
+	L := c.params.PadLen
+	var report int
+	switch {
+	case len(items) == 0:
+		report = pad
+	case len(items) >= L:
+		// Sample uniformly from the (conceptually truncated) set.
+		report = items[ldprand.Intn(c.src, len(items))]
+	default:
+		// Pad with ⊥ to length L, then sample: the real items are
+		// chosen with probability |set|/L in total.
+		slot := ldprand.Intn(c.src, L)
+		if slot < len(items) {
+			report = items[slot]
+		} else {
+			report = pad
+		}
+	}
+	c.oracle.Collect(report)
+	return nil
+}
+
+// Collected returns the number of users reported.
+func (c *Collector) Collected() int { return c.oracle.Collected() }
+
+// EstimateCounts returns estimated holder counts per item: the
+// sampled-frequency estimates scaled by PadLen. Estimates are unbiased
+// for users whose sets fit in PadLen; truncated users are undercounted
+// by their overflow, the documented bias of the protocol.
+func (c *Collector) EstimateCounts() []float64 {
+	raw := c.oracle.EstimateCounts()
+	out := make([]float64, c.params.Domain)
+	for i := range out {
+		out[i] = raw[i] * float64(c.params.PadLen)
+	}
+	return out
+}
+
+// TheoreticalVariance returns the variance of one item-count estimate
+// after n users: PadLen² times the underlying oracle's variance.
+func (c *Collector) TheoreticalVariance(n int) float64 {
+	L := float64(c.params.PadLen)
+	return L * L * c.oracle.TheoreticalVariance(n)
+}
+
+// Hit is one frequent item with its estimated holder count.
+type Hit struct {
+	Item  int
+	Count float64
+}
+
+// FindTopK runs the two-phase LDPMiner flow over the users' sets and
+// returns the k most frequent items with refined count estimates.
+func FindTopK(params Params, k int, sets [][]int, src ldprand.Source) ([]Hit, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("itemset: k must be positive, got %d", k)
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	n := len(sets)
+	if n < 4 {
+		return nil, fmt.Errorf("itemset: need at least 4 users, got %d", n)
+	}
+	order := ldprand.Perm(src, n)
+	half := n / 2
+
+	// Phase 1: locate candidates over the full domain.
+	phase1, err := NewCollector(params, src)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range order[:half] {
+		if err := phase1.Collect(sets[idx]); err != nil {
+			return nil, err
+		}
+	}
+	counts := phase1.EstimateCounts()
+	idxs := make([]int, len(counts))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.SliceStable(idxs, func(a, b int) bool { return counts[idxs[a]] > counts[idxs[b]] })
+	budget := 2 * k
+	if budget > params.Domain {
+		budget = params.Domain
+	}
+	candidates := append([]int(nil), idxs[:budget]...)
+	sort.Ints(candidates)
+	candIndex := make(map[int]int, len(candidates))
+	for i, item := range candidates {
+		candIndex[item] = i
+	}
+
+	// Phase 2: padding-and-sampling restricted to the candidate set.
+	// Each user's set is intersected with the candidates first.
+	restricted := Params{Epsilon: params.Epsilon, Domain: len(candidates), PadLen: params.PadLen}
+	if restricted.Domain < 2 {
+		restricted.Domain = 2 // degenerate single-candidate case
+	}
+	phase2, err := NewCollector(restricted, src)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range order[half:] {
+		var kept []int
+		for _, it := range sets[idx] {
+			if ci, ok := candIndex[it]; ok {
+				kept = append(kept, ci)
+			}
+		}
+		if err := phase2.Collect(kept); err != nil {
+			return nil, err
+		}
+	}
+	est := phase2.EstimateCounts()
+	scale := float64(n) / float64(n-half)
+	hits := make([]Hit, 0, len(candidates))
+	for ci, item := range candidates {
+		if ci >= len(est) {
+			break
+		}
+		if est[ci] <= 0 {
+			continue
+		}
+		hits = append(hits, Hit{Item: item, Count: est[ci] * scale})
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Count > hits[b].Count })
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}

@@ -1,0 +1,164 @@
+package itemset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Epsilon: 1, Domain: 100, PadLen: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Epsilon: 0, Domain: 100, PadLen: 4},
+		{Epsilon: 1, Domain: 1, PadLen: 4},
+		{Epsilon: 1, Domain: 100, PadLen: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// synthSets builds n user sets over [0,domain) where heavy items have
+// known holder counts.
+func synthSets(src ldprand.Source, domain, n int) ([][]int, map[int]int) {
+	heavy := []int{3, 47, 91}
+	holderProb := []float64{0.6, 0.4, 0.25}
+	truth := make(map[int]int)
+	sets := make([][]int, n)
+	for i := range sets {
+		var s []int
+		for h, item := range heavy {
+			if ldprand.Bernoulli(src, holderProb[h]) {
+				s = append(s, item)
+				truth[item]++
+			}
+		}
+		// One random filler item.
+		s = append(s, ldprand.Intn(src, domain))
+		sets[i] = s
+	}
+	return sets, truth
+}
+
+func TestCollectorUnbiasedForHeavyItems(t *testing.T) {
+	const domain, n = 128, 60000
+	src := ldprand.NewSplitMix64(1)
+	sets, truth := synthSets(src, domain, n)
+	c, err := NewCollector(Params{Epsilon: 2, Domain: domain, PadLen: 4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		if err := c.Collect(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Collected() != n {
+		t.Fatalf("collected %d", c.Collected())
+	}
+	est := c.EstimateCounts()
+	tol := 4*math.Sqrt(c.TheoreticalVariance(n)) + 0.03*float64(n)
+	for item, want := range truth {
+		if math.Abs(est[item]-float64(want)) > tol {
+			t.Errorf("item %d: estimate %.0f truth %d (tol %.0f)", item, est[item], want, tol)
+		}
+	}
+}
+
+func TestCollectRejectsOutOfDomain(t *testing.T) {
+	c, _ := NewCollector(Params{Epsilon: 1, Domain: 8, PadLen: 2}, ldprand.NewSplitMix64(2))
+	if err := c.Collect([]int{8}); err == nil {
+		t.Error("out-of-domain item accepted")
+	}
+	if err := c.Collect([]int{-1}); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestEmptyAndOversizeSets(t *testing.T) {
+	c, _ := NewCollector(Params{Epsilon: 1, Domain: 8, PadLen: 2}, ldprand.NewSplitMix64(3))
+	if err := c.Collect(nil); err != nil {
+		t.Fatalf("empty set rejected: %v", err)
+	}
+	if err := c.Collect([]int{0, 1, 2, 3, 4}); err != nil {
+		t.Fatalf("oversize set rejected: %v", err)
+	}
+	if c.Collected() != 2 {
+		t.Fatalf("collected %d", c.Collected())
+	}
+}
+
+func TestSamplingProbabilityMatchesPadding(t *testing.T) {
+	// A user with one item and PadLen=4 must report the item about 1/4
+	// of the time and ⊥ otherwise. Observe through the oracle's inputs
+	// by instrumenting with a tiny domain and exact counting over many
+	// users at epsilon high enough that reports are nearly truthful.
+	const n = 40000
+	src := ldprand.NewSplitMix64(4)
+	c, _ := NewCollector(Params{Epsilon: 8, Domain: 2, PadLen: 4}, src)
+	for i := 0; i < n; i++ {
+		if err := c.Collect([]int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := c.EstimateCounts() // scaled by PadLen already
+	if math.Abs(est[0]-n) > 0.05*n {
+		t.Errorf("single-item estimate %.0f want about %d", est[0], n)
+	}
+}
+
+func TestFindTopK(t *testing.T) {
+	const domain, n = 128, 80000
+	src := ldprand.NewSplitMix64(5)
+	sets, truth := synthSets(src, domain, n)
+	hits, err := FindTopK(Params{Epsilon: 2, Domain: domain, PadLen: 4}, 3, sets, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// Item 3 (60% of users) must be the top hit.
+	if hits[0].Item != 3 {
+		t.Errorf("top item %d want 3 (hits %v)", hits[0].Item, hits)
+	}
+	if math.Abs(hits[0].Count-float64(truth[3])) > 0.35*float64(truth[3]) {
+		t.Errorf("top count %.0f truth %d", hits[0].Count, truth[3])
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Count > hits[i-1].Count {
+			t.Fatal("hits not sorted")
+		}
+	}
+}
+
+func TestFindTopKValidation(t *testing.T) {
+	p := Params{Epsilon: 1, Domain: 16, PadLen: 2}
+	if _, err := FindTopK(p, 0, [][]int{{1}, {2}, {3}, {4}}, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FindTopK(p, 2, [][]int{{1}}, nil); err == nil {
+		t.Error("too few users accepted")
+	}
+	if _, err := FindTopK(Params{Epsilon: 0, Domain: 16, PadLen: 2}, 2, [][]int{{1}, {2}, {3}, {4}}, nil); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestVarianceGrowsWithPadLen(t *testing.T) {
+	small, _ := NewCollector(Params{Epsilon: 1, Domain: 16, PadLen: 2}, ldprand.NewSplitMix64(6))
+	large, _ := NewCollector(Params{Epsilon: 1, Domain: 16, PadLen: 8}, ldprand.NewSplitMix64(7))
+	if large.TheoreticalVariance(1000) <= small.TheoreticalVariance(1000) {
+		t.Error("variance should grow with PadLen")
+	}
+	ratio := large.TheoreticalVariance(1000) / small.TheoreticalVariance(1000)
+	if math.Abs(ratio-16) > 1e-9 { // (8/2)² = 16
+		t.Errorf("variance ratio %v want 16", ratio)
+	}
+}

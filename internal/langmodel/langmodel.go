@@ -1,0 +1,221 @@
+// Package langmodel implements privately trained text prediction
+// (§1.3): the motivating application of McMahan et al. [17] — better
+// typing prediction from user keystrokes — realized at the n-gram
+// level that LDP frequency collection supports. Each user contributes
+// one randomized bigram observation; the aggregator assembles a
+// Markov next-character model from the debiased bigram histogram and
+// never sees a single raw keystroke.
+package langmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+)
+
+// AlphabetSize is the model alphabet: 'a'..'z' plus the boundary
+// marker used for word starts/ends.
+const AlphabetSize = 27
+
+// Boundary is the word-boundary symbol index.
+const Boundary = 26
+
+// symbolOf maps a byte to its alphabet index; anything outside a–z is
+// treated as a boundary.
+func symbolOf(b byte) int {
+	if b >= 'a' && b <= 'z' {
+		return int(b - 'a')
+	}
+	return Boundary
+}
+
+// charOf inverts symbolOf for display.
+func charOf(s int) byte {
+	if s >= 0 && s < 26 {
+		return byte('a' + s)
+	}
+	return '_'
+}
+
+// bigramID encodes a (prev, next) symbol pair as one domain value.
+func bigramID(prev, next int) int { return prev*AlphabetSize + next }
+
+// Trainer collects randomized bigram reports and fits the model.
+type Trainer struct {
+	epsilon float64
+	oracle  freq.Oracle
+	src     ldprand.Source
+}
+
+// NewTrainer returns a bigram model trainer. A nil source selects
+// crypto/rand.
+func NewTrainer(epsilon float64, src ldprand.Source) *Trainer {
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	return &Trainer{
+		epsilon: epsilon,
+		oracle:  freq.NewOLH(epsilon, AlphabetSize*AlphabetSize, src),
+		src:     src,
+	}
+}
+
+// Contribute privatizes one bigram sampled uniformly from the user's
+// text (with boundary padding) and folds it into the aggregate. Texts
+// must be non-empty; they are lowercased and non-letters become
+// boundaries.
+func (t *Trainer) Contribute(text string) error {
+	if text == "" {
+		return fmt.Errorf("langmodel: empty text")
+	}
+	s := strings.ToLower(text)
+	// Bigrams including a leading boundary: positions 0..len(s)-1 pair
+	// (prev, cur) with prev = boundary at position 0.
+	pos := ldprand.Intn(t.src, len(s))
+	prev := Boundary
+	if pos > 0 {
+		prev = symbolOf(s[pos-1])
+	}
+	t.oracle.Collect(bigramID(prev, symbolOf(s[pos])))
+	return nil
+}
+
+// Contributed returns the number of reports.
+func (t *Trainer) Contributed() int { return t.oracle.Collected() }
+
+// Model is a next-character Markov model: Probs[prev][next].
+type Model struct {
+	Probs [AlphabetSize][AlphabetSize]float64
+}
+
+// Fit builds the model from the debiased bigram histogram, clamping
+// negatives and smoothing every row with add-alpha so perplexity is
+// finite.
+func (t *Trainer) Fit(alpha float64) *Model {
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+	counts := t.oracle.EstimateCounts()
+	var m Model
+	for prev := 0; prev < AlphabetSize; prev++ {
+		var row [AlphabetSize]float64
+		var total float64
+		for next := 0; next < AlphabetSize; next++ {
+			c := counts[bigramID(prev, next)]
+			if c < 0 {
+				c = 0
+			}
+			row[next] = c + alpha
+			total += row[next]
+		}
+		for next := 0; next < AlphabetSize; next++ {
+			m.Probs[prev][next] = row[next] / total
+		}
+	}
+	return &m
+}
+
+// FitTrue builds the exact model from raw texts, the non-private
+// ground truth the experiments compare against.
+func FitTrue(texts []string, alpha float64) *Model {
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+	var counts [AlphabetSize][AlphabetSize]float64
+	for _, text := range texts {
+		s := strings.ToLower(text)
+		prev := Boundary
+		for i := 0; i < len(s); i++ {
+			cur := symbolOf(s[i])
+			counts[prev][cur]++
+			prev = cur
+		}
+	}
+	var m Model
+	for prev := 0; prev < AlphabetSize; prev++ {
+		var total float64
+		for next := 0; next < AlphabetSize; next++ {
+			counts[prev][next] += alpha
+			total += counts[prev][next]
+		}
+		for next := 0; next < AlphabetSize; next++ {
+			m.Probs[prev][next] = counts[prev][next] / total
+		}
+	}
+	return &m
+}
+
+// Predict returns the k most likely next characters after the given
+// context byte (only its last character matters in a bigram model).
+func (m *Model) Predict(context string, k int) []byte {
+	prev := Boundary
+	if context != "" {
+		prev = symbolOf(strings.ToLower(context)[len(context)-1])
+	}
+	idx := make([]int, AlphabetSize)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return m.Probs[prev][idx[a]] > m.Probs[prev][idx[b]]
+	})
+	if k > AlphabetSize {
+		k = AlphabetSize
+	}
+	out := make([]byte, k)
+	for i := 0; i < k; i++ {
+		out[i] = charOf(idx[i])
+	}
+	return out
+}
+
+// Perplexity evaluates the model on held-out texts: exp of the average
+// negative log-likelihood per character. Lower is better; the uniform
+// model scores AlphabetSize.
+func (m *Model) Perplexity(texts []string) float64 {
+	var logSum float64
+	var chars int
+	for _, text := range texts {
+		s := strings.ToLower(text)
+		prev := Boundary
+		for i := 0; i < len(s); i++ {
+			cur := symbolOf(s[i])
+			p := m.Probs[prev][cur]
+			if p <= 0 {
+				p = 1e-12
+			}
+			logSum += math.Log(p)
+			chars++
+			prev = cur
+		}
+	}
+	if chars == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logSum / float64(chars))
+}
+
+// KLDivergence returns the average KL divergence between this model's
+// rows and another's, weighted uniformly over contexts — a direct
+// model-distance measure for experiments.
+func (m *Model) KLDivergence(other *Model) float64 {
+	var total float64
+	for prev := 0; prev < AlphabetSize; prev++ {
+		for next := 0; next < AlphabetSize; next++ {
+			p := m.Probs[prev][next]
+			q := other.Probs[prev][next]
+			if p <= 0 {
+				continue
+			}
+			if q <= 0 {
+				q = 1e-12
+			}
+			total += p * math.Log(p/q)
+		}
+	}
+	return total / AlphabetSize
+}

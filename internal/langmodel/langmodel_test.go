@@ -1,0 +1,159 @@
+package langmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+// corpus returns a synthetic training corpus with strong bigram
+// structure ("qu", "th", "he" heavy).
+func corpus(src ldprand.Source, n int) []string {
+	words := []string{"the", "then", "they", "queen", "quick", "quiet", "hello", "there"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[ldprand.Intn(src, len(words))]
+	}
+	return out
+}
+
+func TestSymbolMapping(t *testing.T) {
+	if symbolOf('a') != 0 || symbolOf('z') != 25 {
+		t.Fatal("letter mapping wrong")
+	}
+	if symbolOf(' ') != Boundary || symbolOf('3') != Boundary {
+		t.Fatal("non-letters must map to boundary")
+	}
+	if charOf(0) != 'a' || charOf(25) != 'z' || charOf(Boundary) != '_' {
+		t.Fatal("charOf wrong")
+	}
+}
+
+func TestContributeRejectsEmpty(t *testing.T) {
+	tr := NewTrainer(1, ldprand.NewSplitMix64(1))
+	if err := tr.Contribute(""); err == nil {
+		t.Fatal("empty text accepted")
+	}
+	if err := tr.Contribute("hello"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contributed() != 1 {
+		t.Fatalf("contributed %d", tr.Contributed())
+	}
+}
+
+func TestModelRowsAreDistributions(t *testing.T) {
+	src := ldprand.NewSplitMix64(2)
+	tr := NewTrainer(2, src)
+	for _, text := range corpus(src, 5000) {
+		if err := tr.Contribute(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tr.Fit(0.5)
+	for prev := 0; prev < AlphabetSize; prev++ {
+		var sum float64
+		for next := 0; next < AlphabetSize; next++ {
+			p := m.Probs[prev][next]
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range at (%d,%d): %v", prev, next, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", prev, sum)
+		}
+	}
+}
+
+func TestPrivateModelLearnsBigramStructure(t *testing.T) {
+	src := ldprand.NewSplitMix64(3)
+	texts := corpus(src, 60000)
+	tr := NewTrainer(3, src)
+	for _, text := range texts {
+		if err := tr.Contribute(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	private := tr.Fit(0.5)
+	// In this corpus, 'q' is always followed by 'u'.
+	q := symbolOf('q')
+	u := symbolOf('u')
+	if private.Probs[q][u] < 0.5 {
+		t.Errorf("P(u|q) = %.3f, corpus has q->u always", private.Probs[q][u])
+	}
+	// 't' is overwhelmingly followed by 'h'.
+	if got := private.Predict("t", 1); got[0] != 'h' {
+		t.Errorf("Predict(t) = %c want h", got[0])
+	}
+}
+
+func TestPrivateBeatsUniformPerplexity(t *testing.T) {
+	src := ldprand.NewSplitMix64(4)
+	texts := corpus(src, 60000)
+	heldOut := corpus(src, 1000)
+	tr := NewTrainer(3, src)
+	for _, text := range texts {
+		_ = tr.Contribute(text)
+	}
+	private := tr.Fit(0.5)
+	truth := FitTrue(texts, 0.5)
+
+	pPriv := private.Perplexity(heldOut)
+	pTrue := truth.Perplexity(heldOut)
+	if pPriv >= AlphabetSize {
+		t.Errorf("private perplexity %.2f no better than uniform %d", pPriv, AlphabetSize)
+	}
+	// Private model should be within 2x of the non-private model here.
+	if pPriv > 2*pTrue {
+		t.Errorf("private perplexity %.2f vs true %.2f", pPriv, pTrue)
+	}
+}
+
+func TestKLDivergenceProperties(t *testing.T) {
+	src := ldprand.NewSplitMix64(5)
+	texts := corpus(src, 20000)
+	truth := FitTrue(texts, 0.5)
+	if d := truth.KLDivergence(truth); math.Abs(d) > 1e-9 {
+		t.Errorf("self-KL %v want 0", d)
+	}
+	tr := NewTrainer(2, src)
+	for _, text := range texts {
+		_ = tr.Contribute(text)
+	}
+	private := tr.Fit(0.5)
+	if d := truth.KLDivergence(private); d < 0 {
+		t.Errorf("KL %v negative", d)
+	}
+}
+
+func TestPerplexityEdgeCases(t *testing.T) {
+	m := FitTrue([]string{"abc"}, 1)
+	if !math.IsInf(m.Perplexity(nil), 1) {
+		t.Error("empty evaluation should be +Inf")
+	}
+	if p := m.Perplexity([]string{"abc"}); p <= 0 || math.IsInf(p, 0) {
+		t.Errorf("perplexity %v", p)
+	}
+}
+
+func TestPredictBounds(t *testing.T) {
+	m := FitTrue([]string{"hello world"}, 1)
+	if got := m.Predict("", 3); len(got) != 3 {
+		t.Fatalf("predict empty context: %v", got)
+	}
+	if got := m.Predict("x", 100); len(got) != AlphabetSize {
+		t.Fatalf("k clamping failed: %d", len(got))
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	a := FitTrue([]string{"Hello"}, 1)
+	b := FitTrue([]string{"hello"}, 1)
+	if a.KLDivergence(b) > 1e-9 {
+		t.Error("case should not matter")
+	}
+	_ = strings.ToLower("X") // documented behaviour; keep import honest
+}

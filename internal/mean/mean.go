@@ -1,0 +1,196 @@
+// Package mean implements locally private estimation of numeric means:
+// Duchi et al.'s minimax-optimal one-dimensional mechanism (FOCS 2013,
+// the work that brought LDP to prominence per §1.1) and the
+// Harmony-style multidimensional extension (Nguyên et al. 2016) that
+// samples one coordinate per user.
+package mean
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ldprand"
+)
+
+// Duchi is the one-dimensional Duchi–Jordan–Wainwright mechanism for
+// values in [−1, 1]: report ±C with C = (e^ε+1)/(e^ε−1), biased toward
+// the true value. The report is a single bit (the sign).
+type Duchi struct {
+	epsilon float64
+	c       float64
+	src     ldprand.Source
+	sum     float64
+	n       int
+}
+
+// NewDuchi returns a Duchi mean estimator. A nil source selects
+// crypto/rand.
+func NewDuchi(epsilon float64, src ldprand.Source) *Duchi {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		panic("mean: epsilon must be positive and finite")
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	e := math.Exp(epsilon)
+	return &Duchi{epsilon: epsilon, c: (e + 1) / (e - 1), src: src}
+}
+
+// C returns the output magnitude (e^ε+1)/(e^ε−1).
+func (d *Duchi) C() float64 { return d.c }
+
+// Privatize returns the randomized response for x in [−1, 1] (clamped):
+// +C with probability 1/2 + x·(e^ε−1)/(2(e^ε+1)), else −C. The output
+// is unbiased: E[report] = x.
+func (d *Duchi) Privatize(x float64) float64 {
+	if x < -1 {
+		x = -1
+	}
+	if x > 1 {
+		x = 1
+	}
+	pPlus := 0.5 + x/(2*d.c)
+	if ldprand.Bernoulli(d.src, pPlus) {
+		return d.c
+	}
+	return -d.c
+}
+
+// Collect privatizes x and folds it into the running aggregate.
+func (d *Duchi) Collect(x float64) { d.Aggregate(d.Privatize(x)) }
+
+// Aggregate folds one report into the aggregate. Reports must be ±C.
+func (d *Duchi) Aggregate(report float64) {
+	if math.Abs(math.Abs(report)-d.c) > 1e-9 {
+		panic(fmt.Sprintf("mean: Duchi report %v is not ±%v", report, d.c))
+	}
+	d.sum += report
+	d.n++
+}
+
+// Estimate returns the unbiased mean estimate.
+func (d *Duchi) Estimate() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Collected returns the number of reports aggregated.
+func (d *Duchi) Collected() int { return d.n }
+
+// Variance returns the estimator variance for n users in the worst
+// case (x = 0): C²/n.
+func (d *Duchi) Variance(n int) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return d.c * d.c / float64(n)
+}
+
+// Reset clears the aggregate.
+func (d *Duchi) Reset() { d.sum, d.n = 0, 0 }
+
+// Harmony estimates the mean of d-dimensional vectors in [−1, 1]^d:
+// each user samples one coordinate uniformly, applies the Duchi
+// mechanism to it with the full budget, and the server scales by d.
+type Harmony struct {
+	epsilon float64
+	dim     int
+	c       float64
+	src     ldprand.Source
+	sums    []float64
+	n       int
+}
+
+// HarmonyReport is one report: the sampled coordinate and the ±C·d
+// value.
+type HarmonyReport struct {
+	Coord int
+	Value float64
+}
+
+// NewHarmony returns a Harmony-style estimator for d-dimensional data.
+func NewHarmony(epsilon float64, dim int, src ldprand.Source) *Harmony {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		panic("mean: epsilon must be positive and finite")
+	}
+	if dim < 1 {
+		panic("mean: dimension must be at least 1")
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	e := math.Exp(epsilon)
+	return &Harmony{
+		epsilon: epsilon,
+		dim:     dim,
+		c:       (e + 1) / (e - 1),
+		src:     src,
+		sums:    make([]float64, dim),
+	}
+}
+
+// Privatize samples a coordinate of x (length dim, entries clamped to
+// [−1,1]) and reports ±C·dim on it, unbiased per coordinate after the
+// server divides by n.
+func (h *Harmony) Privatize(x []float64) HarmonyReport {
+	if len(x) != h.dim {
+		panic(fmt.Sprintf("mean: vector length %d, want %d", len(x), h.dim))
+	}
+	j := ldprand.Intn(h.src, h.dim)
+	v := x[j]
+	if v < -1 {
+		v = -1
+	}
+	if v > 1 {
+		v = 1
+	}
+	pPlus := 0.5 + v/(2*h.c)
+	out := h.c * float64(h.dim)
+	if !ldprand.Bernoulli(h.src, pPlus) {
+		out = -out
+	}
+	return HarmonyReport{Coord: j, Value: out}
+}
+
+// Aggregate folds one report in.
+func (h *Harmony) Aggregate(r HarmonyReport) {
+	if r.Coord < 0 || r.Coord >= h.dim {
+		panic(fmt.Sprintf("mean: coordinate %d out of range [0,%d)", r.Coord, h.dim))
+	}
+	want := h.c * float64(h.dim)
+	if math.Abs(math.Abs(r.Value)-want) > 1e-9 {
+		panic(fmt.Sprintf("mean: Harmony report %v is not ±%v", r.Value, want))
+	}
+	h.sums[r.Coord] += r.Value
+	h.n++
+}
+
+// Collect privatizes and aggregates in one step.
+func (h *Harmony) Collect(x []float64) { h.Aggregate(h.Privatize(x)) }
+
+// Estimate returns the estimated mean vector.
+func (h *Harmony) Estimate() []float64 {
+	out := make([]float64, h.dim)
+	if h.n == 0 {
+		return out
+	}
+	for j, s := range h.sums {
+		out[j] = s / float64(h.n)
+	}
+	return out
+}
+
+// Collected returns the number of reports aggregated.
+func (h *Harmony) Collected() int { return h.n }
+
+// Variance returns the worst-case per-coordinate estimator variance
+// for n users: d²·C²/n.
+func (h *Harmony) Variance(n int) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	dd := float64(h.dim)
+	return dd * dd * h.c * h.c / float64(n)
+}

@@ -1,0 +1,160 @@
+package mean
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+func TestDuchiOutputsPlusMinusC(t *testing.T) {
+	d := NewDuchi(1, ldprand.NewSplitMix64(1))
+	for i := 0; i < 1000; i++ {
+		r := d.Privatize(0.3)
+		if math.Abs(math.Abs(r)-d.C()) > 1e-12 {
+			t.Fatalf("report %v not ±C=%v", r, d.C())
+		}
+	}
+}
+
+func TestDuchiUnbiased(t *testing.T) {
+	for _, x := range []float64{-0.8, 0, 0.5, 1} {
+		d := NewDuchi(1.5, ldprand.NewSplitMix64(uint64(100*(x+2))))
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Privatize(x)
+		}
+		got := sum / n
+		if math.Abs(got-x) > 0.02 {
+			t.Errorf("x=%v: mean report %.4f", x, got)
+		}
+	}
+}
+
+func TestDuchiEstimateMatchesTruth(t *testing.T) {
+	d := NewDuchi(1, ldprand.NewSplitMix64(5))
+	src := ldprand.NewSplitMix64(6)
+	const n = 100000
+	var truth float64
+	for i := 0; i < n; i++ {
+		x := 2*ldprand.Float64(src) - 1
+		truth += x
+		d.Collect(x)
+	}
+	truth /= n
+	got := d.Estimate()
+	tol := 4 * math.Sqrt(d.Variance(n))
+	if math.Abs(got-truth) > tol {
+		t.Errorf("estimate %.4f truth %.4f (tol %.4f)", got, truth, tol)
+	}
+	if d.Collected() != n {
+		t.Errorf("collected %d", d.Collected())
+	}
+}
+
+func TestDuchiClamps(t *testing.T) {
+	d := NewDuchi(1, ldprand.NewSplitMix64(7))
+	// Inputs outside [−1,1] must not break the ±C invariant or bias
+	// beyond the boundary value.
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Privatize(5)
+	}
+	got := sum / n
+	if math.Abs(got-1) > 0.03 {
+		t.Errorf("clamped mean %.3f want about 1", got)
+	}
+}
+
+func TestDuchiAggregateRejectsForeign(t *testing.T) {
+	d := NewDuchi(1, ldprand.NewSplitMix64(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-±C report")
+		}
+	}()
+	d.Aggregate(0.5)
+}
+
+func TestDuchiReset(t *testing.T) {
+	d := NewDuchi(1, ldprand.NewSplitMix64(9))
+	d.Collect(0.5)
+	d.Reset()
+	if d.Collected() != 0 || d.Estimate() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestDuchiVariance(t *testing.T) {
+	d := NewDuchi(1, nil)
+	if !math.IsInf(d.Variance(0), 1) {
+		t.Error("n=0 variance should be infinite")
+	}
+	if d.Variance(100) <= d.Variance(10000) {
+		t.Error("variance should shrink with n")
+	}
+}
+
+func TestHarmonyUnbiasedPerCoordinate(t *testing.T) {
+	const dim = 4
+	h := NewHarmony(2, dim, ldprand.NewSplitMix64(10))
+	truth := []float64{-0.5, 0, 0.3, 0.9}
+	const n = 400000
+	for i := 0; i < n; i++ {
+		h.Collect(truth)
+	}
+	est := h.Estimate()
+	tol := 4 * math.Sqrt(h.Variance(n))
+	for j := range truth {
+		if math.Abs(est[j]-truth[j]) > tol {
+			t.Errorf("coord %d: estimate %.4f truth %.4f (tol %.4f)", j, est[j], truth[j], tol)
+		}
+	}
+}
+
+func TestHarmonyReportShape(t *testing.T) {
+	h := NewHarmony(1, 3, ldprand.NewSplitMix64(11))
+	for i := 0; i < 100; i++ {
+		r := h.Privatize([]float64{0.1, -0.2, 0.5})
+		if r.Coord < 0 || r.Coord >= 3 {
+			t.Fatalf("coord %d", r.Coord)
+		}
+		want := h.c * 3
+		if math.Abs(math.Abs(r.Value)-want) > 1e-9 {
+			t.Fatalf("value %v not ±%v", r.Value, want)
+		}
+	}
+}
+
+func TestHarmonyValidation(t *testing.T) {
+	h := NewHarmony(1, 2, ldprand.NewSplitMix64(12))
+	for _, fn := range []func(){
+		func() { h.Privatize([]float64{1}) },
+		func() { h.Aggregate(HarmonyReport{Coord: 5, Value: h.c * 2}) },
+		func() { h.Aggregate(HarmonyReport{Coord: 0, Value: 0.1}) },
+		func() { NewHarmony(0, 2, nil) },
+		func() { NewHarmony(1, 0, nil) },
+		func() { NewDuchi(-1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHarmonyEmptyEstimate(t *testing.T) {
+	h := NewHarmony(1, 3, nil)
+	est := h.Estimate()
+	for _, v := range est {
+		if v != 0 {
+			t.Fatal("empty estimate should be zeros")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package rappor
+
+// ridgeSolve solves min_w ||X·w − y||² + λ||w||² via the normal
+// equations (XᵀX + λI)·w = Xᵀy and Gaussian elimination with partial
+// pivoting. Candidate sets are small (tens to a few thousand), so the
+// dense O(c³) solve is fine and avoids any external dependency.
+func ridgeSolve(x [][]float64, y []float64, lambda float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	cols := len(x[0])
+	// a = XᵀX + λI, b = Xᵀy.
+	a := make([][]float64, cols)
+	for i := range a {
+		a[i] = make([]float64, cols)
+		a[i][i] = lambda
+	}
+	b := make([]float64, cols)
+	for r, row := range x {
+		for i := 0; i < cols; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := i; j < cols; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[r]
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	return gaussSolve(a, b)
+}
+
+// gaussSolve solves a·w = b in place with partial pivoting. The ridge
+// term guarantees a is positive definite, so the pivot never vanishes.
+func gaussSolve(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot: largest |a[row][col]| among remaining rows.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		p := a[col][col]
+		if p == 0 {
+			continue // defensive; unreachable with ridge term
+		}
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / p
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * w[j]
+		}
+		if a[i][i] != 0 {
+			w[i] = sum / a[i][i]
+		}
+	}
+	return w
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

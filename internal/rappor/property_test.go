@@ -1,0 +1,106 @@
+package rappor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ldprand"
+)
+
+// TestReportShapeProperty: every report under randomized parameters is
+// structurally valid and accepted by a matching server.
+func TestReportShapeProperty(t *testing.T) {
+	f := func(seed uint64, value string, bitsRaw, cohortsRaw uint8) bool {
+		p := DefaultParams()
+		p.BloomBits = int(bitsRaw%120) + 8
+		p.Cohorts = int(cohortsRaw%8) + 1
+		c, err := NewClient(p, []byte{byte(seed), 1}, ldprand.NewSplitMix64(seed))
+		if err != nil {
+			return false
+		}
+		s, err := NewServer(p)
+		if err != nil {
+			return false
+		}
+		r := c.Report(value)
+		if r.Bits.Len() != p.BloomBits || r.Cohort < 0 || r.Cohort >= p.Cohorts {
+			return false
+		}
+		return s.Add(r) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPermanentEpsilonMonotone: more permanent noise (larger f) must
+// mean a *smaller* epsilon (stronger guarantee).
+func TestPermanentEpsilonMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		p := DefaultParams()
+		p.F = f
+		eps := p.PermanentEpsilon()
+		if eps >= prev {
+			t.Fatalf("epsilon not decreasing: f=%v gives %v after %v", f, eps, prev)
+		}
+		if eps <= 0 {
+			t.Fatalf("epsilon %v must be positive at f=%v", eps, f)
+		}
+		prev = eps
+	}
+}
+
+// TestPermanentEpsilonScalesWithHashes: doubling the hash count
+// doubles the epsilon (each set bit leaks).
+func TestPermanentEpsilonScalesWithHashes(t *testing.T) {
+	p := DefaultParams()
+	p.Hashes = 2
+	e2 := p.PermanentEpsilon()
+	p.Hashes = 4
+	e4 := p.PermanentEpsilon()
+	if math.Abs(e4-2*e2) > 1e-9 {
+		t.Fatalf("e4=%v want 2*e2=%v", e4, 2*e2)
+	}
+}
+
+// TestInstantaneousBitRates: with permanent bits known, reported 1s
+// follow q on set bits and p on clear bits.
+func TestInstantaneousBitRates(t *testing.T) {
+	p := testParams()
+	c, err := NewClient(p, []byte("rate-secret"), ldprand.NewSplitMix64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := c.permanentBits("v")
+	const n = 20000
+	onesOnSet, setBits := 0, 0
+	onesOnClear, clearBits := 0, 0
+	for i := 0; i < n; i++ {
+		r := c.Report("v")
+		for b := 0; b < p.BloomBits; b++ {
+			if perm.Get(b) {
+				setBits++
+				if r.Bits.Get(b) {
+					onesOnSet++
+				}
+			} else {
+				clearBits++
+				if r.Bits.Get(b) {
+					onesOnClear++
+				}
+			}
+		}
+	}
+	if setBits > 0 {
+		got := float64(onesOnSet) / float64(setBits)
+		if math.Abs(got-p.Q) > 0.01 {
+			t.Errorf("set-bit one rate %.4f want %.4f", got, p.Q)
+		}
+	}
+	got := float64(onesOnClear) / float64(clearBits)
+	if math.Abs(got-p.P) > 0.01 {
+		t.Errorf("clear-bit one rate %.4f want %.4f", got, p.P)
+	}
+}

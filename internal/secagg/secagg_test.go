@@ -1,0 +1,141 @@
+package secagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ldprand"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, x := range []float64{0, 1, -1, 3.5, -1234.0625, 1e6} {
+		if got := decodeSum(encode(x)); math.Abs(got-x) > 1.0/fixedScale {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+}
+
+func TestMasksCancelExactly(t *testing.T) {
+	session := []byte("session-secret-123")
+	const n = 7
+	values := []float64{1.5, -2.25, 3, 0, 10.75, -4, 0.125}
+	reports := make([]uint64, n)
+	var want float64
+	for i, x := range values {
+		c, err := NewClient(i, n, session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = c.Mask(x)
+		want += x
+	}
+	got := Aggregate(reports)
+	if math.Abs(got-want) > float64(n)/fixedScale {
+		t.Fatalf("aggregate %v want %v", got, want)
+	}
+}
+
+func TestMaskedReportsHideValues(t *testing.T) {
+	// A single masked report must look nothing like the raw value: the
+	// pairwise masks are full-range ring elements.
+	session := []byte("s")
+	c0, _ := NewClient(0, 3, session)
+	raw := encode(5)
+	masked := c0.Mask(5)
+	if masked == raw {
+		t.Fatal("masked report equals raw encoding")
+	}
+	// Different values produce different reports under the same masks.
+	if c0.Mask(5) != masked {
+		t.Fatal("masking not deterministic for fixed session")
+	}
+	if c0.Mask(6) == masked {
+		t.Fatal("different values collide")
+	}
+}
+
+func TestMaskCancellationProperty(t *testing.T) {
+	// For random participant counts and integer-ish values, the sum of
+	// masked reports always equals the true sum.
+	f := func(seed uint64, nRaw uint8, scale uint16) bool {
+		n := int(nRaw%14) + 2
+		src := ldprand.NewSplitMix64(seed)
+		session := []byte{byte(seed), byte(seed >> 8), 1}
+		values := make([]float64, n)
+		var want float64
+		reports := make([]uint64, n)
+		for i := range values {
+			values[i] = float64(int(src.Uint64()%uint64(scale+1))) - float64(scale)/2
+			want += values[i]
+			c, err := NewClient(i, n, session)
+			if err != nil {
+				return false
+			}
+			reports[i] = c.Mask(values[i])
+		}
+		return math.Abs(Aggregate(reports)-want) < float64(n)/fixedScale+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(0, 1, []byte("s")); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewClient(5, 3, []byte("s")); err == nil {
+		t.Error("id out of range accepted")
+	}
+	if _, err := NewClient(0, 3, nil); err == nil {
+		t.Error("empty session accepted")
+	}
+}
+
+func TestPrivateSumCentralAccuracy(t *testing.T) {
+	// The whole point of §1.5: the noisy sum error is O(1/ε),
+	// independent of n — far below the LDP O(√n/ε). Pairwise masking
+	// is O(n²) session-key derivations, so the test population is kept
+	// moderate.
+	const n = 400
+	src := ldprand.NewSplitMix64(1)
+	values := make([]float64, n)
+	var want float64
+	for i := range values {
+		values[i] = ldprand.Float64(src) // in [0,1)
+		want += values[i]
+	}
+	got, err := PrivateSum(1.0, 1.0, values, []byte("sess"), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Laplace(2/1) noise: |error| beyond 20 is astronomically unlikely.
+	if math.Abs(got-want) > 20 {
+		t.Fatalf("private sum %v want about %v", got, want)
+	}
+}
+
+func TestPrivateSumClipping(t *testing.T) {
+	values := []float64{100, -100, 0.5}
+	got, err := PrivateSum(50, 1, values, []byte("sess"), ldprand.NewSplitMix64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clipped sum is 1 − 1 + 0.5 = 0.5; ε=50 noise is tiny.
+	if math.Abs(got-0.5) > 1 {
+		t.Fatalf("clipped sum %v want about 0.5", got)
+	}
+}
+
+func TestPrivateSumValidation(t *testing.T) {
+	if _, err := PrivateSum(0, 1, []float64{1, 2}, []byte("s"), nil); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := PrivateSum(1, 0, []float64{1, 2}, []byte("s"), nil); err == nil {
+		t.Error("clip 0 accepted")
+	}
+	if _, err := PrivateSum(1, 1, []float64{1}, []byte("s"), nil); err == nil {
+		t.Error("single participant accepted")
+	}
+}

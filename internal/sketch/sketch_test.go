@@ -1,0 +1,186 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func item(i int) []byte { return []byte(fmt.Sprintf("item-%d", i)) }
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(4, 64, 1)
+	truth := map[int]float64{}
+	for i := 0; i < 200; i++ {
+		id := i % 30
+		cm.Add(item(id), 1)
+		truth[id]++
+	}
+	for id, want := range truth {
+		if got := cm.Estimate(item(id)); got < want {
+			t.Fatalf("count-min underestimated item %d: %v < %v", id, got, want)
+		}
+	}
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	// With far more counters than items, estimates are exact w.h.p.
+	cm := NewCountMin(4, 4096, 2)
+	for i := 0; i < 10; i++ {
+		cm.Add(item(i), float64(i+1))
+	}
+	for i := 0; i < 10; i++ {
+		if got, want := cm.Estimate(item(i)), float64(i+1); got != want {
+			t.Fatalf("sparse estimate item %d: %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestCountMeanDebiasing(t *testing.T) {
+	// The count-mean estimator subtracts the collision background; on a
+	// skewed stream its error for a heavy item should be small relative
+	// to the stream size.
+	cm := NewCountMin(8, 128, 3)
+	const heavy = 5000.0
+	cm.Add(item(0), heavy)
+	for i := 1; i <= 1000; i++ {
+		cm.Add(item(i), 1)
+	}
+	got := cm.EstimateMean(item(0))
+	if math.Abs(got-heavy) > 0.05*cm.Total() {
+		t.Fatalf("count-mean estimate %v want about %v", got, heavy)
+	}
+}
+
+func TestCountMinMergeMatchesUnion(t *testing.T) {
+	a := NewCountMin(3, 32, 9)
+	b := NewCountMin(3, 32, 9)
+	for i := 0; i < 50; i++ {
+		a.Add(item(i%7), 1)
+		b.Add(item(i%5), 2)
+	}
+	union := NewCountMin(3, 32, 9)
+	for i := 0; i < 50; i++ {
+		union.Add(item(i%7), 1)
+		union.Add(item(i%5), 2)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Estimate(item(i)) != union.Estimate(item(i)) {
+			t.Fatalf("merged estimate differs from union for item %d", i)
+		}
+	}
+	if a.Total() != union.Total() {
+		t.Fatalf("merged total %v want %v", a.Total(), union.Total())
+	}
+}
+
+func TestCountMinMergeRejectsIncompatible(t *testing.T) {
+	a := NewCountMin(3, 32, 1)
+	cases := []*CountMin{
+		NewCountMin(4, 32, 1),
+		NewCountMin(3, 64, 1),
+		NewCountMin(3, 32, 2),
+	}
+	for i, b := range cases {
+		if err := a.Merge(b); err == nil {
+			t.Errorf("case %d: incompatible merge accepted", i)
+		}
+	}
+}
+
+func TestCountSketchUnbiasedOnHeavyItem(t *testing.T) {
+	cs := NewCountSketch(5, 256, 4)
+	const heavy = 10000.0
+	cs.Add(item(0), heavy)
+	for i := 1; i <= 500; i++ {
+		cs.Add(item(i), 1)
+	}
+	got := cs.Estimate(item(0))
+	if math.Abs(got-heavy) > 0.02*heavy {
+		t.Fatalf("count sketch estimate %v want about %v", got, heavy)
+	}
+}
+
+func TestCountSketchSignsBalanced(t *testing.T) {
+	cs := NewCountSketch(1, 8, 7)
+	plus := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if cs.Sign(0, item(i)) > 0 {
+			plus++
+		}
+	}
+	frac := float64(plus) / n
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("sign fraction %v want about 0.5", frac)
+	}
+}
+
+func TestCountSketchMerge(t *testing.T) {
+	a := NewCountSketch(3, 64, 5)
+	b := NewCountSketch(3, 64, 5)
+	a.Add(item(1), 10)
+	b.Add(item(1), 5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(item(1)); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("merged estimate %v want 15", got)
+	}
+	if err := a.Merge(NewCountSketch(2, 64, 5)); err == nil {
+		t.Error("incompatible merge accepted")
+	}
+}
+
+func TestAddToCellAndTotal(t *testing.T) {
+	cm := NewCountMin(2, 8, 1)
+	cm.AddToCell(0, 3, 2.5)
+	cm.AddTotal(1)
+	if cm.Row(0)[3] != 2.5 {
+		t.Fatalf("cell not updated: %v", cm.Row(0))
+	}
+	if cm.Total() != 1 {
+		t.Fatalf("total %v want 1", cm.Total())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCountMin(0, 8, 0) },
+		func() { NewCountMin(2, 0, 0) },
+		func() { NewCountSketch(0, 8, 0) },
+		func() { NewCountSketch(2, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := NewCountMin(4, 1024, 1)
+	data := item(123)
+	for i := 0; i < b.N; i++ {
+		cm.Add(data, 1)
+	}
+}
+
+func BenchmarkCountSketchEstimate(b *testing.B) {
+	cs := NewCountSketch(5, 1024, 1)
+	for i := 0; i < 1000; i++ {
+		cs.Add(item(i), 1)
+	}
+	data := item(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Estimate(data)
+	}
+}

@@ -1,0 +1,275 @@
+// Package telemetry implements Microsoft's repeated-collection system
+// (Ding, Kulkarni, Yekhanin, NeurIPS 2017), the third deployment the
+// tutorial covers (§1.2(3)): one-bit mean estimation for numeric
+// counters, one-bit histogram collection, and α-point rounding with
+// memoized responses so that collecting every day does not erode the
+// privacy guarantee — the "fixed random numbers" idea.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ldprand"
+)
+
+// MeanParams configures one-bit mean collection of values in [0, Max].
+type MeanParams struct {
+	Epsilon float64
+	Max     float64 // values are clamped to [0, Max]
+}
+
+// Validate checks parameter ranges.
+func (p MeanParams) Validate() error {
+	if p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0) {
+		return fmt.Errorf("telemetry: epsilon must be positive and finite, got %v", p.Epsilon)
+	}
+	if p.Max <= 0 {
+		return fmt.Errorf("telemetry: Max must be positive, got %v", p.Max)
+	}
+	return nil
+}
+
+// OneBit reports a single bit per user such that the population mean is
+// recoverable: the bit is 1 with probability
+// 1/(e^ε+1) + (x/Max)·(e^ε−1)/(e^ε+1).
+func OneBit(p MeanParams, x float64, src ldprand.Source) int {
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	x = clamp(x, 0, p.Max)
+	e := math.Exp(p.Epsilon)
+	prob := 1/(e+1) + (x/p.Max)*(e-1)/(e+1)
+	if ldprand.Bernoulli(src, prob) {
+		return 1
+	}
+	return 0
+}
+
+// MeanFromBits inverts the one-bit mechanism: given the sum of reported
+// bits over n users, it returns the unbiased mean estimate
+// Max·(sum·(e^ε+1) − n)/(n·(e^ε−1)).
+func MeanFromBits(p MeanParams, bitSum, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	e := math.Exp(p.Epsilon)
+	return p.Max * (float64(bitSum)*(e+1) - float64(n)) / (float64(n) * (e - 1))
+}
+
+// MeanVariance returns the variance of the mean estimate for n users in
+// the worst case (x = Max/2): Max²·(e^ε+1)²/(4n·(e^ε−1)²) at most.
+func MeanVariance(p MeanParams, n int) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	e := math.Exp(p.Epsilon)
+	r := (e + 1) / (e - 1)
+	return p.Max * p.Max * r * r / (4 * float64(n))
+}
+
+// MeanCollector aggregates one-bit mean reports.
+type MeanCollector struct {
+	params MeanParams
+	bitSum int
+	n      int
+}
+
+// NewMeanCollector returns an aggregator for the given parameters.
+func NewMeanCollector(params MeanParams) (*MeanCollector, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &MeanCollector{params: params}, nil
+}
+
+// Add folds one reported bit in. Bits outside {0, 1} are rejected.
+func (m *MeanCollector) Add(bit int) error {
+	if bit != 0 && bit != 1 {
+		return fmt.Errorf("telemetry: bit must be 0 or 1, got %d", bit)
+	}
+	m.bitSum += bit
+	m.n++
+	return nil
+}
+
+// Estimate returns the current mean estimate.
+func (m *MeanCollector) Estimate() float64 {
+	return MeanFromBits(m.params, m.bitSum, m.n)
+}
+
+// Collected returns the number of reports.
+func (m *MeanCollector) Collected() int { return m.n }
+
+// Client is a memoizing telemetry reporter implementing α-point
+// rounding: the user's secret fixes a rounding threshold α·Max and two
+// memoized one-bit responses (one for "rounded to 0", one for "rounded
+// to Max"). Every report reuses those fixed bits, so an observer of T
+// rounds learns no more than from a single round unless the user's
+// value crosses the threshold — the exact behaviour E7 demonstrates.
+type Client struct {
+	params  MeanParams
+	alpha   float64 // rounding threshold in [0,1)
+	bitLow  int     // memoized response for rounded value 0
+	bitHigh int     // memoized response for rounded value Max
+}
+
+// NewClient derives a memoizing client from a per-user secret. The
+// metric name domain-separates secrets so one user can report several
+// counters independently.
+func NewClient(params MeanParams, secret []byte, metric string) (*Client, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("telemetry: secret must be non-empty")
+	}
+	alphaSrc := ldprand.Keyed(secret, "telemetry-alpha:"+metric)
+	lowSrc := ldprand.Keyed(secret, "telemetry-low:"+metric)
+	highSrc := ldprand.Keyed(secret, "telemetry-high:"+metric)
+	return &Client{
+		params:  params,
+		alpha:   ldprand.Float64(alphaSrc),
+		bitLow:  OneBit(params, 0, lowSrc),
+		bitHigh: OneBit(params, params.Max, highSrc),
+	}, nil
+}
+
+// Report returns the memoized one-bit report for the current value x.
+// α-point rounding sends the "high" response iff x/Max > α; because α
+// is uniform, E[rounded] = x, preserving unbiasedness of the mean.
+func (c *Client) Report(x float64) int {
+	x = clamp(x, 0, c.params.Max)
+	if x/c.params.Max > c.alpha {
+		return c.bitHigh
+	}
+	return c.bitLow
+}
+
+// NaiveReport re-randomizes on every call (no memoization) — the
+// baseline that leaks under repeated collection, used by the E7
+// ablation.
+func (c *Client) NaiveReport(x float64, src ldprand.Source) int {
+	return OneBit(c.params, x, src)
+}
+
+// HistogramParams configures one-bit histogram collection over d
+// buckets.
+type HistogramParams struct {
+	Epsilon float64
+	Buckets int
+}
+
+// Validate checks parameter ranges.
+func (p HistogramParams) Validate() error {
+	if p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0) {
+		return fmt.Errorf("telemetry: epsilon must be positive and finite, got %v", p.Epsilon)
+	}
+	if p.Buckets < 2 {
+		return fmt.Errorf("telemetry: need at least 2 buckets, got %d", p.Buckets)
+	}
+	return nil
+}
+
+// HistogramReport is one report: the bucket the user was asked about
+// and the randomized membership bit.
+type HistogramReport struct {
+	Bucket int
+	Bit    int
+}
+
+// HistogramBit runs the client side: the user is assigned a uniformly
+// random bucket (in deployments, derived from the user ID so it is
+// stable) and answers "is my value in this bucket" through binary
+// randomized response with the full budget.
+func HistogramBit(p HistogramParams, value int, src ldprand.Source) HistogramReport {
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	if value < 0 || value >= p.Buckets {
+		panic(fmt.Sprintf("telemetry: value %d outside [0,%d)", value, p.Buckets))
+	}
+	bucket := ldprand.Intn(src, p.Buckets)
+	truth := 0
+	if value == bucket {
+		truth = 1
+	}
+	e := math.Exp(p.Epsilon)
+	keep := e / (e + 1)
+	if !ldprand.Bernoulli(src, keep) {
+		truth = 1 - truth
+	}
+	return HistogramReport{Bucket: bucket, Bit: truth}
+}
+
+// HistogramCollector aggregates one-bit histogram reports.
+type HistogramCollector struct {
+	params HistogramParams
+	ones   []int // per-bucket count of 1 bits
+	asked  []int // per-bucket count of reports
+}
+
+// NewHistogramCollector returns an aggregator.
+func NewHistogramCollector(params HistogramParams) (*HistogramCollector, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &HistogramCollector{
+		params: params,
+		ones:   make([]int, params.Buckets),
+		asked:  make([]int, params.Buckets),
+	}, nil
+}
+
+// Add folds one report in.
+func (h *HistogramCollector) Add(r HistogramReport) error {
+	if r.Bucket < 0 || r.Bucket >= h.params.Buckets {
+		return fmt.Errorf("telemetry: bucket %d out of range", r.Bucket)
+	}
+	if r.Bit != 0 && r.Bit != 1 {
+		return fmt.Errorf("telemetry: bit must be 0 or 1, got %d", r.Bit)
+	}
+	h.ones[r.Bucket] += r.Bit
+	h.asked[r.Bucket]++
+	return nil
+}
+
+// Collected returns the total reports aggregated.
+func (h *HistogramCollector) Collected() int {
+	total := 0
+	for _, a := range h.asked {
+		total += a
+	}
+	return total
+}
+
+// EstimateCounts returns unbiased estimated counts per bucket. With
+// keep probability p = e^ε/(e^ε+1), the fraction of 1-answers among
+// users asked about bucket j estimates p·f_j + (1−p)(1−f_j), inverted
+// per bucket and scaled to the population.
+func (h *HistogramCollector) EstimateCounts() []float64 {
+	e := math.Exp(h.params.Epsilon)
+	p := e / (e + 1)
+	total := float64(h.Collected())
+	out := make([]float64, h.params.Buckets)
+	for j := range out {
+		asked := float64(h.asked[j])
+		if asked == 0 {
+			continue
+		}
+		obs := float64(h.ones[j]) / asked
+		fj := (obs - (1 - p)) / (2*p - 1)
+		out[j] = fj * total
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
