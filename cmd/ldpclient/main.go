@@ -3,9 +3,15 @@
 // one locally with crypto/rand randomness, and POSTs the randomized
 // envelopes to an ldpd server. Raw values never leave the process.
 //
+// With -batch > 1 the client buffers that many privatized envelopes
+// and ships them in one POST /report/batch request, which is how a
+// real deployment amortizes per-request overhead; batching changes the
+// transport framing only, every value is still randomized
+// independently before it is buffered.
+//
 // Usage:
 //
-//	seq 0 99 | ldpclient -server http://localhost:8080 -mechanism OLH -epsilon 1 -domain 128
+//	seq 0 99 | ldpclient -server http://localhost:8080 -mechanism OLH -epsilon 1 -domain 128 -batch 50
 package main
 
 import (
@@ -29,9 +35,14 @@ func main() {
 		mechanism = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
 		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget per report")
 		domain    = flag.Int("domain", 128, "input domain size")
+		batch     = flag.Int("batch", 1, "envelopes per request (1 = POST /report per value; oversized batches auto-flush early to fit the server's body cap)")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	)
 	flag.Parse()
+	if *batch < 1 {
+		fmt.Fprintln(os.Stderr, "ldpclient: -batch must be at least 1")
+		os.Exit(2)
+	}
 
 	client, err := core.NewClient(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain}, nil)
 	if err != nil {
@@ -40,7 +51,29 @@ func main() {
 	}
 	httpClient := &http.Client{Timeout: *timeout}
 
+	// Flush early when the encoded batch would approach the server's
+	// 8 MiB body cap — wide envelopes (SHE at large domains) hit the
+	// byte limit long before a reasonable -batch count does, and a
+	// whole oversize batch would be rejected outright.
+	const maxBatchBody = 6 << 20
+
 	sent, failed := 0, 0
+	pending := make([]core.Envelope, 0, *batch)
+	pendingBytes := 0
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		n, err := postBatch(httpClient, *server, pending)
+		sent += n
+		failed += len(pending) - n
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
+		}
+		pending = pending[:0]
+		pendingBytes = 0
+	}
+
 	scanner := bufio.NewScanner(os.Stdin)
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
@@ -59,13 +92,31 @@ func main() {
 			failed++
 			continue
 		}
-		if err := post(httpClient, *server+"/report", env); err != nil {
+		if *batch == 1 {
+			if err := post(httpClient, *server+"/report", env); err != nil {
+				fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
+				failed++
+				continue
+			}
+			sent++
+			continue
+		}
+		size, err := envelopeSize(env)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
 			failed++
 			continue
 		}
-		sent++
+		if len(pending) > 0 && pendingBytes+size > maxBatchBody {
+			flush()
+		}
+		pending = append(pending, env)
+		pendingBytes += size
+		if len(pending) == *batch {
+			flush()
+		}
 	}
+	flush()
 	if err := scanner.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "ldpclient: stdin:", err)
 		os.Exit(1)
@@ -90,4 +141,37 @@ func post(c *http.Client, url string, env core.Envelope) error {
 		return fmt.Errorf("server returned %s", resp.Status)
 	}
 	return nil
+}
+
+// envelopeSize returns the JSON-encoded size of one envelope plus its
+// array separator, for tracking how close the pending batch is to the
+// server's body cap.
+func envelopeSize(env core.Envelope) (int, error) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return 0, err
+	}
+	return len(body) + 1, nil
+}
+
+// postBatch ships one /report/batch request and returns how many
+// envelopes the server accepted.
+func postBatch(c *http.Client, server string, batch []core.Envelope) (int, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Post(server+"/report/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var br core.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return 0, fmt.Errorf("server returned %s (unreadable body: %v)", resp.Status, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return br.Accepted, fmt.Errorf("server rejected %d of %d: %s", br.Rejected, len(batch), br.Error)
+	}
+	return br.Accepted, nil
 }

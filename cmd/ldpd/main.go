@@ -1,14 +1,18 @@
 // Command ldpd runs an LDP aggregation server: clients POST privatized
-// report envelopes to /report, and analysts read debiased estimates
-// from /estimate (the raw values never leave the clients).
+// report envelopes to /report (or JSON arrays of envelopes to
+// /report/batch), and analysts read debiased estimates from /estimate
+// (the raw values never leave the clients). Ingestion is sharded
+// across per-core oracles so heavy traffic does not serialize on one
+// mutex.
 //
 // Usage:
 //
-//	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128
+//	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128 -shards 0
 //
 // Report format (JSON), e.g. for GRR:
 //
 //	curl -X POST localhost:8080/report -d '{"mechanism":"GRR","value":3}'
+//	curl -X POST localhost:8080/report/batch -d '[{"mechanism":"GRR","value":3},{"mechanism":"GRR","value":5}]'
 //	curl localhost:8080/estimate
 package main
 
@@ -29,14 +33,16 @@ func main() {
 		mechanism = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
 		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget per report")
 		domain    = flag.Int("domain", 128, "input domain size")
+		shards    = flag.Int("shards", 0, "aggregation shards (0 = one per core)")
 	)
 	flag.Parse()
 
-	svc, err := core.NewService(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain})
+	svc, err := core.NewServiceSharded(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain}, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	log.Printf("ldpd: %s with ε=%g over domain %d, listening on %s", *mechanism, *epsilon, *domain, *addr)
+	log.Printf("ldpd: %s with ε=%g over domain %d (%d shards), listening on %s",
+		*mechanism, *epsilon, *domain, svc.Aggregator().Shards(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
 }

@@ -238,6 +238,22 @@ func (c *Client) Report(v int) (Envelope, error) {
 	return Privatize(c.oracle, v)
 }
 
+// ReportBatch privatizes a slice of values into wire envelopes, the
+// payload of one POST /report/batch. Each value is randomized
+// independently, exactly as per-value Report calls would; batching
+// changes only the transport framing, never the privacy guarantee.
+func (c *Client) ReportBatch(values []int) ([]Envelope, error) {
+	out := make([]Envelope, 0, len(values))
+	for i, v := range values {
+		env, err := c.Report(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch value %d: %w", i, err)
+		}
+		out = append(out, env)
+	}
+	return out, nil
+}
+
 // Mechanism returns the client's mechanism name.
 func (c *Client) Mechanism() string { return c.oracle.Name() }
 

@@ -4,33 +4,54 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
+)
 
-	"repro/internal/freq"
+// Request body limits: one envelope never legitimately approaches a
+// mebibyte, while a batch of the largest envelopes (SHE at domain
+// ~4096) needs real headroom; both are tight enough that a
+// misbehaving client cannot balloon the decoder.
+const (
+	maxReportBytes = 1 << 20
+	maxBatchBytes  = 8 << 20
 )
 
 // Service is an HTTP aggregation endpoint: clients POST Envelope JSON
-// to /report, analysts GET /estimate for the debiased counts and
-// /status for collection metadata. It is safe for concurrent use.
+// to /report (or a JSON array of envelopes to /report/batch), analysts
+// GET /estimate for the debiased counts and /status for collection
+// metadata. Ingestion is sharded across per-core oracles (see
+// ShardedAggregator), so concurrent reports do not serialize on one
+// mutex; /estimate merges the shards on demand, which is exact because
+// every oracle accumulator is linear. It is safe for concurrent use.
 type Service struct {
-	mu     sync.Mutex
-	oracle freq.Oracle
+	agg    *ShardedAggregator
 	params PrivacyParams
 }
 
-// NewService returns a collection service for the named mechanism.
+// NewService returns a collection service for the named mechanism with
+// one aggregation shard per core (GOMAXPROCS).
 func NewService(mechanism string, p PrivacyParams) (*Service, error) {
-	o, err := NewOracle(mechanism, p, nil)
+	return NewServiceSharded(mechanism, p, 0)
+}
+
+// NewServiceSharded returns a collection service with an explicit
+// shard count; shards <= 0 selects GOMAXPROCS.
+func NewServiceSharded(mechanism string, p PrivacyParams, shards int) (*Service, error) {
+	agg, err := NewShardedAggregator(mechanism, p, shards, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Service{oracle: o, params: p}, nil
+	return &Service{agg: agg, params: p}, nil
 }
+
+// Aggregator exposes the service's sharded aggregator, for embedding
+// the service in a larger process that also ingests reports directly.
+func (s *Service) Aggregator() *ShardedAggregator { return s.agg }
 
 // Handler returns the service's HTTP routes.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/report/batch", s.handleReportBatch)
 	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/status", s.handleStatus)
 	return mux
@@ -42,19 +63,50 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var env Envelope
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBytes))
 	if err := dec.Decode(&env); err != nil {
 		http.Error(w, fmt.Sprintf("bad report: %v", err), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	err := Aggregate(s.oracle, env)
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.agg.Add(env); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// BatchResponse is the JSON body of /report/batch: how many envelopes
+// were folded in, and the rejection reasons for the rest. A batch is
+// not atomic — valid envelopes are aggregated even when others in the
+// same batch are rejected (the response status is 400 in that case so
+// simple clients still notice).
+type BatchResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch []Envelope
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err := dec.Decode(&batch); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	accepted, err := s.agg.AddBatch(batch)
+	resp := BatchResponse{Accepted: accepted, Rejected: len(batch) - accepted}
+	status := http.StatusAccepted
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // EstimateResponse is the JSON body of /estimate.
@@ -62,6 +114,7 @@ type EstimateResponse struct {
 	Mechanism string    `json:"mechanism"`
 	Epsilon   float64   `json:"epsilon"`
 	Domain    int       `json:"domain"`
+	Shards    int       `json:"shards"`
 	Reports   int       `json:"reports"`
 	Counts    []float64 `json:"counts"`
 }
@@ -71,16 +124,19 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	resp := EstimateResponse{
-		Mechanism: s.oracle.Name(),
+	merged, err := s.agg.Merged()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, EstimateResponse{
+		Mechanism: merged.Name(),
 		Epsilon:   s.params.Epsilon,
 		Domain:    s.params.Domain,
-		Reports:   s.oracle.Collected(),
-		Counts:    s.oracle.EstimateCounts(),
-	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
+		Shards:    s.agg.Shards(),
+		Reports:   merged.Collected(),
+		Counts:    merged.EstimateCounts(),
+	})
 }
 
 // StatusResponse is the JSON body of /status.
@@ -88,6 +144,7 @@ type StatusResponse struct {
 	Mechanism  string  `json:"mechanism"`
 	Epsilon    float64 `json:"epsilon"`
 	Domain     int     `json:"domain"`
+	Shards     int     `json:"shards"`
 	Reports    int     `json:"reports"`
 	ReportBits int     `json:"report_bits"`
 }
@@ -97,16 +154,15 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	resp := StatusResponse{
-		Mechanism:  s.oracle.Name(),
+	// Metadata only — no need for the full merge /estimate performs.
+	writeJSON(w, StatusResponse{
+		Mechanism:  s.agg.Mechanism(),
 		Epsilon:    s.params.Epsilon,
 		Domain:     s.params.Domain,
-		Reports:    s.oracle.Collected(),
-		ReportBits: s.oracle.ReportBits(),
-	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
+		Shards:     s.agg.Shards(),
+		Reports:    s.agg.Collected(),
+		ReportBits: s.agg.ReportBits(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,256 @@
+package core
+
+// End-to-end httptest coverage for every HTTP handler: the happy paths
+// through /report, /report/batch, /estimate and /status, and the
+// rejection paths for malformed envelopes. core_test.go covers the
+// statistical behavior of the pipeline; this file pins the HTTP
+// contract itself.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+func newTestServer(t *testing.T, mechanism string, shards int) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := NewServiceSharded(mechanism, params(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHandleReportHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, MechanismGRR, 2)
+	body, _ := json.Marshal(Envelope{Mechanism: "GRR", Value: 3})
+	resp := postJSON(t, ts.URL+"/report", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	status, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer status.Body.Close()
+	var st StatusResponse
+	if err := json.NewDecoder(status.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != 1 || st.Mechanism != "GRR" || st.Shards != 2 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestHandleReportBatchHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, MechanismOUE, 3)
+	client, err := NewClient(MechanismOUE, params(), ldprand.NewSplitMix64(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int, 120)
+	for i := range values {
+		values[i] = i % 8
+	}
+	envs, err := client.ReportBatch(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(envs)
+	resp := postJSON(t, ts.URL+"/report/batch", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != len(envs) || br.Rejected != 0 || br.Error != "" {
+		t.Fatalf("batch response %+v", br)
+	}
+
+	est, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Body.Close()
+	var er EstimateResponse
+	if err := json.NewDecoder(est.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Reports != len(envs) || len(er.Counts) != 8 || er.Shards != 3 {
+		t.Fatalf("estimate response %+v", er)
+	}
+}
+
+func TestHandleReportBatchPartialReject(t *testing.T) {
+	svc, ts := newTestServer(t, MechanismGRR, 2)
+	batch := []Envelope{
+		{Mechanism: "GRR", Value: 1},
+		{Mechanism: "GRR", Value: 99}, // out of domain
+		{Mechanism: "GRR", Value: 2},
+	}
+	body, _ := json.Marshal(batch)
+	resp := postJSON(t, ts.URL+"/report/batch", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 2 || br.Rejected != 1 || !strings.Contains(br.Error, "out of domain") {
+		t.Fatalf("batch response %+v", br)
+	}
+	// The valid envelopes still landed.
+	if got := svc.Aggregator().Collected(); got != 2 {
+		t.Fatalf("collected %d want 2", got)
+	}
+}
+
+func TestHandleReportRejectsMalformedEnvelopes(t *testing.T) {
+	cases := []struct {
+		name      string
+		mechanism string
+		env       Envelope
+	}{
+		{"wrong mechanism name", MechanismGRR, Envelope{Mechanism: "OLH", Value: 1}},
+		{"unknown mechanism name", MechanismGRR, Envelope{Mechanism: "NOPE", Value: 1}},
+		{"out-of-range GRR value", MechanismGRR, Envelope{Mechanism: "GRR", Value: 8}},
+		{"negative GRR value", MechanismGRR, Envelope{Mechanism: "GRR", Value: -1}},
+		{"bad base64 bits", MechanismOUE, Envelope{Mechanism: "OUE", Bits: "***"}},
+		{"empty bits", MechanismOUE, Envelope{Mechanism: "OUE", Bits: ""}},
+		{"wrong SHE length", MechanismSHE, Envelope{Mechanism: "SHE", Reals: []float64{1}}},
+		{"bad HRR sign", MechanismHRR, Envelope{Mechanism: "HRR", Value: 1, Sign: 2}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			svc, ts := newTestServer(t, c.mechanism, 2)
+			body, _ := json.Marshal(c.env)
+			resp := postJSON(t, ts.URL+"/report", body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d want 400", resp.StatusCode)
+			}
+			if svc.Aggregator().Collected() != 0 {
+				t.Fatal("rejected envelope was counted")
+			}
+		})
+	}
+}
+
+func TestHandleReportRejectsOversizeBody(t *testing.T) {
+	_, ts := newTestServer(t, MechanismGRR, 2)
+	// Syntactically valid but oversize JSON bodies: the decoder must
+	// hit the MaxBytesReader limit before accepting them. The batch
+	// limit is deliberately higher than the single-report limit, so
+	// each endpoint is probed just past its own bound.
+	huge := []byte(`{"mechanism":"GRR","bits":"` + strings.Repeat("A", maxReportBytes+1024) + `","value":1}`)
+	resp := postJSON(t, ts.URL+"/report", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize /report status %d want 400", resp.StatusCode)
+	}
+
+	hugeBatch := []byte(`[{"mechanism":"GRR","bits":"` + strings.Repeat("A", maxBatchBytes+1024) + `","value":1}]`)
+	resp = postJSON(t, ts.URL+"/report/batch", hugeBatch)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize /report/batch status %d want 400", resp.StatusCode)
+	}
+}
+
+func TestHandleBatchRejectsGarbage(t *testing.T) {
+	_, ts := newTestServer(t, MechanismGRR, 2)
+	// Not JSON at all.
+	resp := postJSON(t, ts.URL+"/report/batch", []byte("[{"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage batch status %d", resp.StatusCode)
+	}
+	// A single object where an array is required.
+	resp = postJSON(t, ts.URL+"/report/batch", []byte(`{"mechanism":"GRR","value":1}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("object batch status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/report/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /report/batch status %d", getResp.StatusCode)
+	}
+}
+
+// TestBatchAndSingleReportsAgree drives the same envelope stream
+// through /report and /report/batch servers and checks the two end in
+// the identical aggregate state — the wire framing must not affect
+// estimates.
+func TestBatchAndSingleReportsAgree(t *testing.T) {
+	single, tsSingle := newTestServer(t, MechanismGRR, 2)
+	batched, tsBatch := newTestServer(t, MechanismGRR, 4)
+
+	client, err := NewClient(MechanismGRR, params(), ldprand.NewSplitMix64(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int, 300)
+	src := ldprand.NewSplitMix64(68)
+	for i := range values {
+		values[i] = ldprand.Intn(src, 8)
+	}
+	envs, err := client.ReportBatch(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, env := range envs {
+		body, _ := json.Marshal(env)
+		resp := postJSON(t, tsSingle.URL+"/report", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("single status %d", resp.StatusCode)
+		}
+	}
+	for i := 0; i < len(envs); i += 100 {
+		body, _ := json.Marshal(envs[i : i+100])
+		resp := postJSON(t, tsBatch.URL+"/report/batch", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("batch status %d", resp.StatusCode)
+		}
+	}
+
+	mSingle, err := single.Aggregator().Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBatch, err := batched.Aggregator().Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSingle.Collected() != mBatch.Collected() {
+		t.Fatalf("collected %d vs %d", mSingle.Collected(), mBatch.Collected())
+	}
+	a, b := mSingle.EstimateCounts(), mBatch.EstimateCounts()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Errorf("value %d: single %v batch %v", v, a[v], b[v])
+		}
+	}
+}

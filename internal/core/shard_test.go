@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+// shardParams uses a domain large enough that hash routing exercises
+// every shard.
+func shardParams() PrivacyParams { return PrivacyParams{Epsilon: 2, Domain: 32} }
+
+// genEnvelopes deterministically privatizes n values through one
+// seeded client, so tests can replay the identical report stream into
+// different aggregation topologies.
+func genEnvelopes(t testing.TB, mechanism string, n int, seed uint64) []Envelope {
+	t.Helper()
+	client, err := NewClient(mechanism, shardParams(), ldprand.NewSplitMix64(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.NewSplitMix64(seed + 1)
+	values := make([]int, n)
+	for i := range values {
+		values[i] = ldprand.Intn(src, shardParams().Domain)
+	}
+	envs, err := client.ReportBatch(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return envs
+}
+
+// TestShardedMatchesSequentialUnderConcurrency is the core soundness
+// claim of the sharded pipeline: N goroutines hammering AddBatch
+// concurrently must leave the merged aggregator in exactly the state a
+// single oracle reaches aggregating the same envelopes sequentially.
+// The mechanisms checked all use integer-valued accumulators, so the
+// comparison is exact (bit-identical estimates), not approximate.
+// Run under `go test -race` to catch synchronization bugs.
+func TestShardedMatchesSequentialUnderConcurrency(t *testing.T) {
+	const (
+		workers   = 8
+		batches   = 10
+		batchSize = 50
+	)
+	for _, name := range []string{MechanismGRR, MechanismOUE, MechanismOLH, MechanismSS, MechanismTHE} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			envs := genEnvelopes(t, name, workers*batches*batchSize, 41)
+
+			// Sequential baseline: one oracle, one order.
+			seq, err := NewOracle(name, shardParams(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range envs {
+				if err := Aggregate(seq, e); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			agg, err := NewShardedAggregator(name, shardParams(), 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, workers*batches)
+			for w := 0; w < workers; w++ {
+				chunk := envs[w*batches*batchSize : (w+1)*batches*batchSize]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for b := 0; b < batches; b++ {
+						batch := chunk[b*batchSize : (b+1)*batchSize]
+						if _, err := agg.AddBatch(batch); err != nil {
+							errs <- err
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			if agg.Collected() != len(envs) {
+				t.Fatalf("collected %d want %d", agg.Collected(), len(envs))
+			}
+			merged, err := agg.Merged()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if merged.Collected() != seq.Collected() {
+				t.Fatalf("merged collected %d, sequential %d", merged.Collected(), seq.Collected())
+			}
+			got, want := merged.EstimateCounts(), seq.EstimateCounts()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("value %d: merged estimate %v != sequential %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentSinglesAndReads mixes Add, AddBatch, Merged and
+// Collected calls from many goroutines; under -race this pins the
+// striped-lock discipline, and the final count pins that no report is
+// lost or double-counted.
+func TestShardedConcurrentSinglesAndReads(t *testing.T) {
+	const workers, per = 6, 200
+	envs := genEnvelopes(t, MechanismGRR, workers*per, 43)
+	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		chunk := envs[w*per : (w+1)*per]
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, e := range chunk {
+				if w%2 == 0 {
+					if err := agg.Add(e); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if i%20 == 0 {
+					if _, err := agg.AddBatch(chunk[i : i+20]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%50 == 0 {
+					// Concurrent reads must see a consistent merge.
+					if _, err := agg.Merged(); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = agg.Collected()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if agg.Collected() != workers*per {
+		t.Fatalf("collected %d want %d", agg.Collected(), workers*per)
+	}
+}
+
+// TestShardedAggregatorRouting checks that hash routing actually
+// spreads load: with many envelopes, every shard should receive a
+// non-trivial share.
+func TestShardedAggregatorRouting(t *testing.T) {
+	const n = 4000
+	envs := genEnvelopes(t, MechanismGRR, n, 47)
+	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range envs {
+		if err := agg.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range agg.shards {
+		got := s.oracle.Collected()
+		if got < n/agg.Shards()/2 {
+			t.Errorf("shard %d starved: %d of %d reports", i, got, n)
+		}
+	}
+}
+
+// TestShardedAggregatorBatchPartialAccept pins the documented non-
+// atomic batch semantics: invalid envelopes are rejected and reported,
+// valid ones still land.
+func TestShardedAggregatorBatchPartialAccept(t *testing.T) {
+	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Envelope{
+		{Mechanism: "GRR", Value: 3},
+		{Mechanism: "GRR", Value: 999}, // out of domain
+		{Mechanism: "OLH", Value: 0},   // wrong mechanism
+		{Mechanism: "GRR", Value: 5},
+	}
+	accepted, err := agg.AddBatch(batch)
+	if err == nil {
+		t.Fatal("invalid envelopes accepted silently")
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d want 2", accepted)
+	}
+	if agg.Collected() != 2 {
+		t.Fatalf("collected %d want 2", agg.Collected())
+	}
+	// Empty batch is a no-op.
+	if n, err := agg.AddBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch: %d, %v", n, err)
+	}
+}
+
+// TestShardedAggregatorReset checks Reset clears every shard.
+func TestShardedAggregatorReset(t *testing.T) {
+	agg, err := NewShardedAggregator(MechanismOUE, shardParams(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range genEnvelopes(t, MechanismOUE, 60, 53) {
+		if err := agg.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.Collected() == 0 {
+		t.Fatal("nothing collected before reset")
+	}
+	agg.Reset()
+	if agg.Collected() != 0 {
+		t.Fatalf("collected %d after reset", agg.Collected())
+	}
+	merged, err := agg.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range merged.EstimateCounts() {
+		if math.Abs(c) > 1e-12 {
+			t.Fatalf("value %d: nonzero estimate %v after reset", v, c)
+		}
+	}
+}
+
+// TestShardedAggregatorDefaults checks the GOMAXPROCS default and
+// accessors.
+func TestShardedAggregatorDefaults(t *testing.T) {
+	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Shards() < 1 {
+		t.Fatalf("shards %d", agg.Shards())
+	}
+	if agg.Mechanism() != MechanismGRR || agg.Params().Domain != 32 {
+		t.Fatalf("accessors: %s %+v", agg.Mechanism(), agg.Params())
+	}
+	if _, err := NewShardedAggregator("NOPE", shardParams(), 2, nil); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}

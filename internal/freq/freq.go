@@ -50,6 +50,31 @@ type Oracle interface {
 	ReportBits() int
 	// Reset discards all aggregated reports.
 	Reset()
+	// Merge folds other's aggregate state (its accumulated reports)
+	// into the receiver. The two oracles must be the same mechanism
+	// with identical parameters; anything else is an error. Every
+	// accumulator in this package is linear — a count vector or a sum
+	// vector — so Merge(a, b) is exact: the merged oracle estimates as
+	// if it had aggregated every report itself. This is the
+	// mergeability property that makes sharded aggregation sound.
+	Merge(other Oracle) error
+	// Snapshot returns an independent deep copy of the oracle's
+	// aggregate state, safe to Merge or estimate from while the
+	// original keeps collecting. The copy shares the randomness
+	// source, so use snapshots for reads and merging, not for
+	// concurrent privatization.
+	Snapshot() Oracle
+}
+
+// mergeTypeError reports an attempt to merge across mechanisms.
+func mergeTypeError(dst, src Oracle) error {
+	return fmt.Errorf("freq: cannot merge %s (%T) into %s (%T)", src.Name(), src, dst.Name(), dst)
+}
+
+// mergeParamError reports a same-mechanism merge with incompatible
+// parameters.
+func mergeParamError(name string) error {
+	return fmt.Errorf("freq: %s merge parameter mismatch", name)
 }
 
 // checkDomain validates a client input.

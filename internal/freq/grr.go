@@ -105,6 +105,35 @@ func (g *GRR) Reset() {
 	g.n = 0
 }
 
+// Merge implements Oracle: tallies add component-wise.
+func (g *GRR) Merge(other Oracle) error {
+	o, ok := other.(*GRR)
+	if !ok {
+		return mergeTypeError(g, other)
+	}
+	return g.mergeGRR(o)
+}
+
+func (g *GRR) mergeGRR(o *GRR) error {
+	if o.d != g.d || o.epsilon != g.epsilon {
+		return mergeParamError(g.Name())
+	}
+	for i, c := range o.counts {
+		g.counts[i] += c
+	}
+	g.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (g *GRR) Snapshot() Oracle { return g.snapshotGRR() }
+
+func (g *GRR) snapshotGRR() *GRR {
+	c := *g
+	c.counts = append([]int(nil), g.counts...)
+	return &c
+}
+
 // bitsFor returns ceil(log2(d)), at least 1.
 func bitsFor(d int) int {
 	bits := 0
@@ -131,6 +160,20 @@ func NewBinaryRR(epsilon float64, src ldprand.Source) BinaryRR {
 
 // Name implements Oracle.
 func (BinaryRR) Name() string { return "RR" }
+
+// Merge implements Oracle. Only another BinaryRR merges in: the
+// embedded GRR would accept a plain d=2 GRR, but mixing the named
+// wrapper with the generic mechanism is almost certainly a bug.
+func (b BinaryRR) Merge(other Oracle) error {
+	o, ok := other.(BinaryRR)
+	if !ok {
+		return mergeTypeError(b, other)
+	}
+	return b.GRR.mergeGRR(o.GRR)
+}
+
+// Snapshot implements Oracle.
+func (b BinaryRR) Snapshot() Oracle { return BinaryRR{b.GRR.snapshotGRR()} }
 
 // EstimateProportion returns the estimated fraction of "1" answers and
 // the half-width of a (1−delta) confidence interval around it, using

@@ -96,6 +96,29 @@ func (s *SHE) Reset() {
 	s.n = 0
 }
 
+// Merge implements Oracle: the noisy sums add component-wise.
+func (s *SHE) Merge(other Oracle) error {
+	o, ok := other.(*SHE)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if o.d != s.d || o.epsilon != s.epsilon {
+		return mergeParamError(s.Name())
+	}
+	for i, x := range o.sums {
+		s.sums[i] += x
+	}
+	s.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (s *SHE) Snapshot() Oracle {
+	c := *s
+	c.sums = append([]float64(nil), s.sums...)
+	return &c
+}
+
 // THE is thresholded histogram encoding: like SHE, but the client only
 // reports which noisy components exceed a threshold θ, turning the
 // report into a bit vector. A true 1-component exceeds θ with
@@ -243,4 +266,28 @@ func (t *THE) Reset() {
 		t.ones[i] = 0
 	}
 	t.n = 0
+}
+
+// Merge implements Oracle: per-position tallies add. The thresholds
+// must match, since θ determines the (p, q) debiasing constants.
+func (t *THE) Merge(other Oracle) error {
+	o, ok := other.(*THE)
+	if !ok {
+		return mergeTypeError(t, other)
+	}
+	if o.d != t.d || o.epsilon != t.epsilon || o.theta != t.theta {
+		return mergeParamError(t.Name())
+	}
+	for i, c := range o.ones {
+		t.ones[i] += c
+	}
+	t.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (t *THE) Snapshot() Oracle {
+	c := *t
+	c.ones = append([]int(nil), t.ones...)
+	return &c
 }

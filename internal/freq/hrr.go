@@ -129,3 +129,26 @@ func (h *HRR) Reset() {
 	}
 	h.n = 0
 }
+
+// Merge implements Oracle: the debiased coefficient sums add.
+func (h *HRR) Merge(other Oracle) error {
+	o, ok := other.(*HRR)
+	if !ok {
+		return mergeTypeError(h, other)
+	}
+	if o.d != h.d || o.epsilon != h.epsilon {
+		return mergeParamError(h.Name())
+	}
+	for i, x := range o.coefSum {
+		h.coefSum[i] += x
+	}
+	h.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (h *HRR) Snapshot() Oracle {
+	c := *h
+	c.coefSum = append([]float64(nil), h.coefSum...)
+	return &c
+}

@@ -158,3 +158,28 @@ func (l *LH) Reset() {
 	}
 	l.n = 0
 }
+
+// Merge implements Oracle: support tallies add component-wise. The
+// hash range g must match (it fixes the debiasing constants), and the
+// name must match so BLH and an explicit g=2 LH stay distinct.
+func (l *LH) Merge(other Oracle) error {
+	o, ok := other.(*LH)
+	if !ok {
+		return mergeTypeError(l, other)
+	}
+	if o.name != l.name || o.d != l.d || o.g != l.g || o.epsilon != l.epsilon {
+		return mergeParamError(l.name)
+	}
+	for i, s := range o.support {
+		l.support[i] += s
+	}
+	l.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (l *LH) Snapshot() Oracle {
+	c := *l
+	c.support = append([]float64(nil), l.support...)
+	return &c
+}

@@ -1,0 +1,204 @@
+package freq_test
+
+// Merge-law property tests: for every mechanism in the registry,
+// splitting a report stream across k oracles and merging them must be
+// indistinguishable from one oracle aggregating the whole stream. This
+// is the algebraic fact the sharded server (internal/core) relies on,
+// so it is pinned here, driven through the core.Mechanisms() registry
+// so any mechanism added there is covered automatically.
+//
+// The external test package is deliberate: it lets the test reuse the
+// core wire path (Privatize/Aggregate envelopes) to feed the exact
+// same randomized reports to both sides without an import cycle.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/ldprand"
+)
+
+func mergeParams() core.PrivacyParams { return core.PrivacyParams{Epsilon: 1.5, Domain: 16} }
+
+// TestMergeLawAllMechanisms checks Merge(split(reports)) ≡
+// aggregate(all reports) on Collected() and EstimateCounts().
+func TestMergeLawAllMechanisms(t *testing.T) {
+	const n, parts = 3000, 7
+	for _, name := range core.Mechanisms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			client, err := core.NewOracle(name, mergeParams(), ldprand.NewSplitMix64(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential, err := core.NewOracle(name, mergeParams(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards := make([]freq.Oracle, parts)
+			for i := range shards {
+				if shards[i], err = core.NewOracle(name, mergeParams(), nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			src := ldprand.NewSplitMix64(12)
+			for i := 0; i < n; i++ {
+				v := ldprand.Intn(src, 16)
+				env, err := core.Privatize(client, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The same envelope goes to the sequential oracle and
+				// to one of the split oracles.
+				if err := core.Aggregate(sequential, env); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.Aggregate(shards[i%parts], env); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			merged, err := core.NewOracle(name, mergeParams(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range shards {
+				if err := merged.Merge(s.Snapshot()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if merged.Collected() != sequential.Collected() {
+				t.Fatalf("merged collected %d, sequential %d", merged.Collected(), sequential.Collected())
+			}
+			got, want := merged.EstimateCounts(), sequential.EstimateCounts()
+			for v := range want {
+				// Integer-count accumulators are exactly equal; the
+				// float accumulators (SHE sums, HRR coefficient sums)
+				// may differ by summation order, so allow ulp-scale
+				// slack relative to the count magnitude.
+				tol := 1e-9 * (1 + math.Abs(want[v]))
+				if diff := math.Abs(got[v] - want[v]); diff > tol {
+					t.Errorf("value %d: merged %v, sequential %v (diff %g)", v, got[v], want[v], diff)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRejectsIncompatible checks that cross-mechanism and
+// cross-parameter merges fail rather than silently corrupting tallies.
+func TestMergeRejectsIncompatible(t *testing.T) {
+	for _, name := range core.Mechanisms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			dst, err := core.NewOracle(name, mergeParams(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Different mechanism.
+			otherName := core.MechanismGRR
+			if name == core.MechanismGRR {
+				otherName = core.MechanismOUE
+			}
+			other, err := core.NewOracle(otherName, mergeParams(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Merge(other); err == nil {
+				t.Errorf("merged %s into %s", otherName, name)
+			}
+			// Same mechanism, different epsilon.
+			diffEps, err := core.NewOracle(name, core.PrivacyParams{Epsilon: 0.5, Domain: 16}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Merge(diffEps); err == nil {
+				t.Errorf("%s: merged mismatched epsilon", name)
+			}
+			// Same mechanism, different domain.
+			diffDom, err := core.NewOracle(name, core.PrivacyParams{Epsilon: 1.5, Domain: 32}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Merge(diffDom); err == nil {
+				t.Errorf("%s: merged mismatched domain", name)
+			}
+			if dst.Collected() != 0 {
+				t.Errorf("%s: failed merges changed state", name)
+			}
+		})
+	}
+}
+
+// TestSnapshotIsIndependent checks that a snapshot is a deep copy: the
+// original keeps collecting without disturbing the snapshot's state.
+func TestSnapshotIsIndependent(t *testing.T) {
+	for _, name := range core.Mechanisms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			o, err := core.NewOracle(name, mergeParams(), ldprand.NewSplitMix64(21))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				o.Collect(i % 16)
+			}
+			snap := o.Snapshot()
+			before := snap.EstimateCounts()
+			for i := 0; i < 100; i++ {
+				o.Collect(i % 16)
+			}
+			if snap.Collected() != 100 {
+				t.Fatalf("snapshot collected %d after original advanced", snap.Collected())
+			}
+			after := snap.EstimateCounts()
+			for v := range before {
+				if before[v] != after[v] {
+					t.Fatalf("value %d: snapshot estimate moved %v -> %v", v, before[v], after[v])
+				}
+			}
+			if o.Collected() != 200 {
+				t.Fatalf("original collected %d", o.Collected())
+			}
+		})
+	}
+}
+
+// TestBinaryRRMerge covers the named Warner wrapper, which is not in
+// the core registry but must still satisfy the merge law.
+func TestBinaryRRMerge(t *testing.T) {
+	a := freq.NewBinaryRR(1, ldprand.NewSplitMix64(31))
+	b := freq.NewBinaryRR(1, ldprand.NewSplitMix64(32))
+	all := freq.NewBinaryRR(1, ldprand.NewSplitMix64(33))
+	// Feed identical report streams by replaying privatized outputs.
+	for i := 0; i < 500; i++ {
+		r := a.Privatize(i % 2)
+		a.Aggregate(r)
+		all.Aggregate(r)
+	}
+	for i := 0; i < 500; i++ {
+		r := b.Privatize(i % 2)
+		b.Aggregate(r)
+		all.Aggregate(r)
+	}
+	merged := freq.NewBinaryRR(1, nil)
+	if err := merged.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Collected() != all.Collected() {
+		t.Fatalf("collected %d want %d", merged.Collected(), all.Collected())
+	}
+	got, want := merged.EstimateCounts(), all.EstimateCounts()
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("merged %v want %v", got, want)
+	}
+	// The wrapper must not merge with a bare GRR even at d=2.
+	if err := merged.Merge(freq.NewGRR(1, 2, nil)); err == nil {
+		t.Error("BinaryRR merged a bare GRR")
+	}
+}

@@ -158,6 +158,30 @@ func (s *SS) Reset() {
 	s.n = 0
 }
 
+// Merge implements Oracle: support tallies add component-wise. The
+// subset size k must match since it fixes (p, q).
+func (s *SS) Merge(other Oracle) error {
+	o, ok := other.(*SS)
+	if !ok {
+		return mergeTypeError(s, other)
+	}
+	if o.d != s.d || o.k != s.k || o.epsilon != s.epsilon {
+		return mergeParamError(s.Name())
+	}
+	for i, c := range o.support {
+		s.support[i] += c
+	}
+	s.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (s *SS) Snapshot() Oracle {
+	c := *s
+	c.support = append([]int(nil), s.support...)
+	return &c
+}
+
 // sortInts is an insertion sort: subset sizes are small and this keeps
 // the package free of a sort dependency on the hot path.
 func sortInts(xs []int) {

@@ -142,3 +142,28 @@ func (u *UE) Reset() {
 	}
 	u.n = 0
 }
+
+// Merge implements Oracle: per-position tallies add. The (p, q) pair
+// must match exactly, which distinguishes SUE from OUE from custom UE
+// even at equal ε.
+func (u *UE) Merge(other Oracle) error {
+	o, ok := other.(*UE)
+	if !ok {
+		return mergeTypeError(u, other)
+	}
+	if o.name != u.name || o.d != u.d || o.epsilon != u.epsilon || o.p != u.p || o.q != u.q {
+		return mergeParamError(u.name)
+	}
+	for i, c := range o.ones {
+		u.ones[i] += c
+	}
+	u.n += o.n
+	return nil
+}
+
+// Snapshot implements Oracle.
+func (u *UE) Snapshot() Oracle {
+	c := *u
+	c.ones = append([]int(nil), u.ones...)
+	return &c
+}
