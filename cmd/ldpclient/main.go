@@ -9,9 +9,14 @@
 // transport framing only, every value is still randomized
 // independently before it is buffered.
 //
+// With -collection NAME the reports target /collections/NAME/report
+// on a multi-survey server; without it they go to the flat routes,
+// which serve the server's default collection.
+//
 // Usage:
 //
 //	seq 0 99 | ldpclient -server http://localhost:8080 -mechanism OLH -epsilon 1 -domain 128 -batch 50
+//	seq 0 31 | ldpclient -collection study-a -mechanism GRR -epsilon 1 -domain 32
 package main
 
 import (
@@ -20,7 +25,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -31,17 +38,22 @@ import (
 
 func main() {
 	var (
-		server    = flag.String("server", "http://localhost:8080", "ldpd base URL")
-		mechanism = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
-		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget per report")
-		domain    = flag.Int("domain", 128, "input domain size")
-		batch     = flag.Int("batch", 1, "envelopes per request (1 = POST /report per value; oversized batches auto-flush early to fit the server's body cap)")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		server     = flag.String("server", "http://localhost:8080", "ldpd base URL")
+		collection = flag.String("collection", "", "target collection (empty = the server's default collection via the flat routes)")
+		mechanism  = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
+		epsilon    = flag.Float64("epsilon", 1.0, "privacy budget per report")
+		domain     = flag.Int("domain", 128, "input domain size")
+		batch      = flag.Int("batch", 1, "envelopes per request (1 = POST /report per value; oversized batches auto-flush early to fit the server's body cap)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	)
 	flag.Parse()
 	if *batch < 1 {
 		fmt.Fprintln(os.Stderr, "ldpclient: -batch must be at least 1")
 		os.Exit(2)
+	}
+	base := strings.TrimSuffix(*server, "/")
+	if *collection != "" {
+		base += "/collections/" + url.PathEscape(*collection)
 	}
 
 	client, err := core.NewClient(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain}, nil)
@@ -64,7 +76,7 @@ func main() {
 		if len(pending) == 0 {
 			return
 		}
-		n, err := postBatch(httpClient, *server, pending)
+		n, err := postBatch(httpClient, base, pending)
 		sent += n
 		failed += len(pending) - n
 		if err != nil {
@@ -93,7 +105,7 @@ func main() {
 			continue
 		}
 		if *batch == 1 {
-			if err := post(httpClient, *server+"/report", env); err != nil {
+			if err := post(httpClient, base+"/report", env); err != nil {
 				fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
 				failed++
 				continue
@@ -138,7 +150,10 @@ func post(c *http.Client, url string, env core.Envelope) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("server returned %s", resp.Status)
+		// The body is the diagnostic ("unknown collection", "mechanism
+		// mismatch", ...); the status line alone hides it.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
 	}
 	return nil
 }
@@ -155,23 +170,47 @@ func envelopeSize(env core.Envelope) (int, error) {
 }
 
 // postBatch ships one /report/batch request and returns how many
-// envelopes the server accepted.
-func postBatch(c *http.Client, server string, batch []core.Envelope) (int, error) {
+// envelopes the server accepted. When the response body is not the
+// expected BatchResponse JSON (a 405, a proxy error page, ...) the
+// error carries the HTTP status and a snippet of the body, which is
+// what actually identifies the problem — not the decode failure.
+func postBatch(c *http.Client, base string, batch []core.Envelope) (int, error) {
 	body, err := json.Marshal(batch)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.Post(server+"/report/batch", "application/json", bytes.NewReader(body))
+	resp, err := c.Post(base+"/report/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	defer resp.Body.Close()
+	// The cap only guards against a pathological non-ldpd responder; a
+	// real BatchResponse fits even with a long joined rejection error,
+	// so the accepted count is never lost to truncation.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, fmt.Errorf("server returned %s (reading body: %v)", resp.Status, err)
+	}
 	var br core.BatchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return 0, fmt.Errorf("server returned %s (unreadable body: %v)", resp.Status, err)
+	if err := json.Unmarshal(raw, &br); err != nil {
+		return 0, fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
 	}
 	if resp.StatusCode != http.StatusAccepted {
 		return br.Accepted, fmt.Errorf("server rejected %d of %d: %s", br.Rejected, len(batch), br.Error)
 	}
 	return br.Accepted, nil
+}
+
+// bodySnippet compresses a response body into one loggable line.
+func bodySnippet(raw []byte) string {
+	s := strings.Join(strings.Fields(string(raw)), " ")
+	if s == "" {
+		return "(empty body)"
+	}
+	const max = 200
+	if len(s) > max {
+		// Truncate, then drop any rune the cut split in half.
+		s = strings.ToValidUTF8(s[:max], "") + "..."
+	}
+	return s
 }

@@ -5,44 +5,181 @@
 // across per-core oracles so heavy traffic does not serialize on one
 // mutex.
 //
+// One server hosts many concurrent surveys: POST /collections creates
+// a named collection with its own mechanism and privacy parameters,
+// and /collections/{name}/report|estimate|status address it. The flat
+// routes remain wired to the "default" collection, configured by the
+// -mechanism/-epsilon/-domain flags.
+//
+// With -state-dir set, every collection is checkpointed to a JSON
+// snapshot in that directory (atomically, write-temp-then-rename)
+// every -checkpoint-interval, restored on startup, and flushed one
+// final time on SIGINT/SIGTERM before the graceful shutdown completes
+// — so a restart resumes with exactly the pre-restart counts.
+//
 // Usage:
 //
-//	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128 -shards 0
+//	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128 -shards 0 \
+//	     -state-dir /var/lib/ldpd -checkpoint-interval 30s
 //
 // Report format (JSON), e.g. for GRR:
 //
 //	curl -X POST localhost:8080/report -d '{"mechanism":"GRR","value":3}'
-//	curl -X POST localhost:8080/report/batch -d '[{"mechanism":"GRR","value":3},{"mechanism":"GRR","value":5}]'
-//	curl localhost:8080/estimate
+//	curl -X POST localhost:8080/collections -d '{"name":"study-a","mechanism":"GRR","epsilon":1,"domain":32}'
+//	curl -X POST localhost:8080/collections/study-a/report -d '{"mechanism":"GRR","value":3}'
+//	curl localhost:8080/collections/study-a/estimate
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		mechanism = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
-		epsilon   = flag.Float64("epsilon", 1.0, "privacy budget per report")
-		domain    = flag.Int("domain", 128, "input domain size")
-		shards    = flag.Int("shards", 0, "aggregation shards (0 = one per core)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		mechanism  = flag.String("mechanism", core.MechanismOLH, "default collection's frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
+		epsilon    = flag.Float64("epsilon", 1.0, "default collection's privacy budget per report")
+		domain     = flag.Int("domain", 128, "default collection's input domain size")
+		shards     = flag.Int("shards", 0, "aggregation shards per collection (0 = one per core)")
+		stateDir   = flag.String("state-dir", "", "directory for per-collection snapshots (empty = memory only)")
+		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint collections to -state-dir")
 	)
 	flag.Parse()
-
-	svc, err := core.NewServiceSharded(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain}, *shards)
-	if err != nil {
+	if err := run(*addr, *mechanism, *epsilon, *domain, *shards, *stateDir, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	log.Printf("ldpd: %s with ε=%g over domain %d (%d shards), listening on %s",
-		*mechanism, *epsilon, *domain, svc.Aggregator().Shards(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}
+
+func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir string, checkpointEvery time.Duration) error {
+	reg := core.NewCollectionRegistry()
+	var store *core.Store
+	if stateDir != "" {
+		var err error
+		store, err = core.NewStore(stateDir)
+		if err != nil {
+			return err
+		}
+		restored, err := store.Load(reg)
+		if err != nil {
+			return fmt.Errorf("ldpd: restoring %s: %w", stateDir, err)
+		}
+		if len(restored) > 0 {
+			log.Printf("ldpd: restored %d collection(s) from %s: %s",
+				len(restored), stateDir, strings.Join(restored, ", "))
+		}
+	}
+
+	defaultCfg := core.CollectionConfig{Mechanism: mechanism, Epsilon: epsilon, Domain: domain, Shards: shards}
+	def, ok := reg.Get(core.DefaultCollection)
+	if ok {
+		// A restored snapshot wins over the flags: silently rebuilding
+		// the default collection with different parameters would orphan
+		// its persisted counts.
+		if def.Config() != defaultCfg {
+			log.Printf("ldpd: default collection restored as %+v; flags %+v ignored", def.Config(), defaultCfg)
+		}
+	} else {
+		var err error
+		if def, err = reg.Create(core.DefaultCollection, defaultCfg); err != nil {
+			return err
+		}
+	}
+
+	svc := core.NewMultiService(reg, store)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if store != nil {
+		if checkpointEvery > 0 {
+			go checkpointLoop(ctx, store, reg, checkpointEvery)
+		} else {
+			// time.NewTicker panics on non-positive intervals; treat
+			// them as "no periodic checkpoints" — creates/deletes are
+			// still mirrored immediately and shutdown flushes.
+			log.Print("ldpd: periodic checkpointing disabled (-checkpoint-interval <= 0)")
+		}
+	}
+
+	// Bind before announcing readiness, so a failed bind never logs a
+	// "listening" line that the operator (or a readiness probe) trusts.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	// Report the effective configuration — the restored snapshot may
+	// have overridden the flags, and shards=0 resolves to GOMAXPROCS.
+	cfg := def.Config()
+	log.Printf("ldpd: default %s with ε=%g over domain %d (%d shards), listening on %s",
+		cfg.Mechanism, cfg.Epsilon, cfg.Domain, def.Aggregator().Shards(), ln.Addr())
+
+	// Both exits — a signal and an accept-loop failure — converge on
+	// the same drain-then-flush sequence: even with the listener dead,
+	// in-flight handlers may still be 202-ing reports, and the final
+	// snapshot must hold everything the server acknowledged.
+	var serveErr error
+	select {
+	case serveErr = <-errCh:
+		log.Printf("ldpd: serve: %v", serveErr)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	log.Print("ldpd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ldpd: shutdown: %v", err)
+	}
+	if store != nil {
+		if err := store.SaveAll(reg); err != nil {
+			// Joined with the serve error (if any): both failures
+			// matter to whoever reads the process exit.
+			return errors.Join(serveErr, fmt.Errorf("ldpd: final checkpoint: %w", err))
+		}
+		log.Printf("ldpd: final checkpoint written to %s", store.Dir())
+	}
+	return serveErr
+}
+
+// checkpointLoop periodically checkpoints every collection until the
+// context is cancelled. Unchanged collections are skipped by the store
+// (epoch comparison), so an idle server does no disk writes.
+func checkpointLoop(ctx context.Context, store *core.Store, reg *core.CollectionRegistry, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if err := store.SaveAll(reg); err != nil {
+				log.Printf("ldpd: checkpoint: %v", err)
+			}
+		}
+	}
 }

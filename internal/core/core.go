@@ -12,12 +12,20 @@ package core
 import (
 	"encoding/base64"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bitvec"
 	"repro/internal/freq"
 	"repro/internal/ldprand"
 )
+
+// maxSHEReal bounds each component of a network-received SHE report.
+// The Laplace(2/ε) noise a real client adds has tails that die off as
+// e^(-|x|ε/2), so 1e9 is unreachable by eight hundred standard
+// deviations even at tiny ε; the cap exists to keep adversarial
+// reports from overflowing the float64 sums.
+const maxSHEReal = 1e9
 
 // PrivacyParams is the user-facing privacy configuration.
 type PrivacyParams struct {
@@ -151,6 +159,17 @@ func Aggregate(o freq.Oracle, e Envelope) error {
 	case *freq.SHE:
 		if len(e.Reals) != m.Domain() {
 			return fmt.Errorf("core: SHE vector length %d, want %d", len(e.Reals), m.Domain())
+		}
+		// A legitimate SHE component is one-hot plus Laplace(2/ε) noise
+		// — astronomically unlikely to stray past single digits, let
+		// alone maxSHEReal. Unbounded components would let a client
+		// push the sums to ±Inf (two 1.7e308 reports suffice), which
+		// poisons the aggregate and makes its JSON state unmarshalable,
+		// wedging every later checkpoint of the collection.
+		for _, x := range e.Reals {
+			if math.IsNaN(x) || x > maxSHEReal || x < -maxSHEReal {
+				return fmt.Errorf("core: SHE component %v outside [-%g, %g]", x, maxSHEReal, maxSHEReal)
+			}
 		}
 		m.Aggregate(e.Reals)
 	case *freq.THE:

@@ -1,0 +1,318 @@
+// Checkpoint persistence for collection servers: each collection's
+// merged aggregate state is written as one JSON snapshot file under a
+// state directory, atomically (write a temp file, fsync, rename), and
+// restored on startup so a restarted server resumes with exactly its
+// pre-restart counts. Snapshots are small — one serialized oracle per
+// collection, independent of how many reports it absorbed — which is
+// what makes frequent checkpointing affordable.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// snapshotExt is the suffix of snapshot files in the state directory;
+// anything else in the directory is ignored on load.
+const snapshotExt = ".json"
+
+// CollectionSnapshot is the on-disk format of one collection: its
+// configuration (enough to rebuild the aggregator) and the serialized
+// merged oracle state (enough to rebuild the counts).
+type CollectionSnapshot struct {
+	Name   string           `json:"name"`
+	Config CollectionConfig `json:"config"`
+	State  json.RawMessage  `json:"state"`
+}
+
+// Store persists collection snapshots in one directory, one file per
+// collection. It is safe for concurrent use; per-collection epochs are
+// tracked so checkpointing an unchanged collection skips the disk
+// write entirely.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	saved map[string]uint64    // collection -> epoch at last successful save
+	names map[string]*nameLock // per-collection lock serializing Save vs Remove
+}
+
+// nameLock is a reference-counted mutex: the map entry is reclaimed
+// when the last holder releases it, so create/delete cycles over fresh
+// names do not grow Store.names forever.
+type nameLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// NewStore opens (creating if needed) a snapshot directory and sweeps
+// temp files orphaned by a crash mid-checkpoint — no checkpoint is in
+// flight at open time, so every *.tmp present is a stray.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: state dir: %w", err)
+	}
+	if strays, err := filepath.Glob(filepath.Join(dir, ".checkpoint-*.tmp")); err == nil {
+		for _, s := range strays {
+			_ = os.Remove(s)
+		}
+	}
+	return &Store{
+		dir:   dir,
+		saved: make(map[string]uint64),
+		names: make(map[string]*nameLock),
+	}, nil
+}
+
+// lockName acquires the lock serializing disk operations on one
+// collection's snapshot, so checkpoints of different collections (and
+// deletes of unrelated ones) never queue behind each other's disk I/O.
+// Release with unlockName. The reference count is taken before
+// blocking on the mutex, so an entry is only reclaimed once every
+// holder and waiter is gone.
+func (st *Store) lockName(name string) *nameLock {
+	st.mu.Lock()
+	l, ok := st.names[name]
+	if !ok {
+		l = new(nameLock)
+		st.names[name] = l
+	}
+	l.refs++
+	st.mu.Unlock()
+	l.mu.Lock()
+	return l
+}
+
+// unlockName releases a lock taken with lockName, dropping the map
+// entry when no one else holds or awaits it.
+func (st *Store) unlockName(name string, l *nameLock) {
+	l.mu.Unlock()
+	st.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(st.names, name)
+	}
+	st.mu.Unlock()
+}
+
+// Dir returns the state directory path.
+func (st *Store) Dir() string { return st.dir }
+
+// HasSnapshot reports whether a snapshot file exists for the name. It
+// takes no locks and allocates no lock-map entry, so it is safe to
+// call with client-supplied names to decide whether Remove is worth
+// invoking at all.
+func (st *Store) HasSnapshot(name string) bool {
+	if ValidateCollectionName(name) != nil {
+		return false
+	}
+	_, err := os.Stat(st.path(name))
+	return err == nil
+}
+
+func (st *Store) path(name string) string {
+	return filepath.Join(st.dir, name+snapshotExt)
+}
+
+// Save checkpoints one collection. The write is atomic — a temp file
+// in the same directory is renamed over the target — so a crash
+// mid-checkpoint leaves the previous snapshot intact, never a torn
+// file. Saving a collection whose epoch is unchanged since the last
+// successful save is a no-op.
+//
+// The registry is consulted under the collection's snapshot lock,
+// which covers the whole write: a collection that was deleted (or
+// deleted and re-created under the same name) between the caller
+// obtaining c and this call is skipped rather than written, so a
+// checkpoint racing with DELETE can never resurrect a removed snapshot
+// — Remove holds the same lock for the unlink.
+func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
+	// The epoch is read before the state: mutations racing with the
+	// marshal may or may not be captured, but they advance the live
+	// epoch past this one, so the next Save re-writes rather than
+	// wrongly skipping.
+	epoch := c.agg.Epoch()
+	l := st.lockName(c.name)
+	defer st.unlockName(c.name, l)
+	if cur, ok := reg.Get(c.name); !ok || cur != c {
+		return nil // deleted or replaced meanwhile; not ours to persist
+	}
+	st.mu.Lock()
+	saved, ok := st.saved[c.name]
+	st.mu.Unlock()
+	if ok && saved == epoch {
+		return nil
+	}
+
+	state, err := c.agg.MarshalState()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
+	}
+	blob, err := json.Marshal(CollectionSnapshot{Name: c.name, Config: c.cfg, State: state})
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
+	}
+	if err := st.writeAtomic(st.path(c.name), blob); err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
+	}
+	st.mu.Lock()
+	st.saved[c.name] = epoch
+	st.mu.Unlock()
+	return nil
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, syncing the file before the rename and the directory after
+// it, so both the snapshot's bytes and its directory entry are durable
+// by the time the call returns.
+func (st *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(st.dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return st.syncDir()
+}
+
+// syncDir fsyncs the state directory, making the latest rename or
+// unlink durable — without it a power loss can roll the directory
+// entry back even though the call already reported success.
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveAll checkpoints every collection in the registry, continuing
+// past individual failures and joining the errors.
+func (st *Store) SaveAll(reg *CollectionRegistry) error {
+	var errs []error
+	for _, c := range reg.Collections() {
+		if err := st.Save(reg, c); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Remove deletes the named collection's snapshot file unless the file
+// belongs to a live collection. Callers must deregister the collection
+// first; the registry re-check under the snapshot lock then covers the
+// race where a same-named collection is re-created (and checkpointed)
+// between the caller's deregistration and this unlink. A live
+// case-variant counts only when its snapshot path resolves to the same
+// file (a case-insensitive filesystem): on a case-sensitive one the
+// variant's file is distinct and the orphan must still be unlinked, or
+// it would collide with the variant's snapshot at the next Load. The
+// saved-epoch entry is always cleared, so any later Save for the name
+// re-writes rather than skipping on a stale epoch match.
+func (st *Store) Remove(reg *CollectionRegistry, name string) error {
+	if err := ValidateCollectionName(name); err != nil {
+		return err
+	}
+	l := st.lockName(name)
+	defer st.unlockName(name, l)
+	st.mu.Lock()
+	delete(st.saved, name)
+	st.mu.Unlock()
+	if live, ok := reg.FoldedName(name); ok {
+		if live == name {
+			return nil // re-created meanwhile; its snapshot owns the file
+		}
+		li, lerr := os.Stat(st.path(live))
+		ni, nerr := os.Stat(st.path(name))
+		if lerr == nil && nerr == nil && os.SameFile(li, ni) {
+			return nil // one shared file on a case-insensitive filesystem
+		}
+	}
+	if err := os.Remove(st.path(name)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("core: remove snapshot %q: %w", name, err)
+	}
+	return st.syncDir()
+}
+
+// Load restores every snapshot in the state directory into the
+// registry: each file re-creates its collection with the persisted
+// configuration and restores the aggregate state exactly. It returns
+// the restored collection names. Snapshots whose name collides with an
+// already-registered collection are an error (the caller decides which
+// side wins by ordering Load against its own Creates).
+func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: state dir: %w", err)
+	}
+	var restored []string
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), snapshotExt)
+		if e.IsDir() || !ok || ValidateCollectionName(name) != nil {
+			continue // temp files, strays — not ours to interpret
+		}
+		blob, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			return restored, fmt.Errorf("core: read snapshot %q: %w", name, err)
+		}
+		var snap CollectionSnapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return restored, fmt.Errorf("core: snapshot %q: %w", name, err)
+		}
+		if snap.Name != name {
+			return restored, fmt.Errorf("core: snapshot file %q names collection %q", e.Name(), snap.Name)
+		}
+		c, err := reg.Create(name, snap.Config)
+		if errors.Is(err, ErrCollectionExists) {
+			// Two snapshots colliding up to letter case (an orphan a
+			// failed delete left beside its re-created variant, or a
+			// state dir written by an older build). Failing startup
+			// would hold every other collection hostage; instead the
+			// loser is set aside under a .conflict suffix — preserved
+			// for the operator, ignored by future Loads.
+			aside := filepath.Join(st.dir, e.Name()+".conflict")
+			if rerr := os.Rename(filepath.Join(st.dir, e.Name()), aside); rerr != nil {
+				return restored, fmt.Errorf("core: restore %q: %w (and could not set snapshot aside: %v)", name, err, rerr)
+			}
+			_ = st.syncDir()
+			continue
+		}
+		if err != nil {
+			return restored, fmt.Errorf("core: restore %q: %w", name, err)
+		}
+		if len(snap.State) > 0 {
+			if err := c.agg.RestoreState(snap.State); err != nil {
+				reg.Delete(name) // don't leave a half-restored collection serving
+				return restored, fmt.Errorf("core: restore %q: %w", name, err)
+			}
+		}
+		st.mu.Lock()
+		st.saved[name] = c.agg.Epoch()
+		st.mu.Unlock()
+		restored = append(restored, name)
+	}
+	return restored, nil
+}

@@ -2,73 +2,169 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"runtime"
+	"strings"
 )
 
 // Request body limits: one envelope never legitimately approaches a
 // mebibyte, while a batch of the largest envelopes (SHE at domain
 // ~4096) needs real headroom; both are tight enough that a
-// misbehaving client cannot balloon the decoder.
+// misbehaving client cannot balloon the decoder. Collection-management
+// bodies are a handful of scalar fields.
 const (
-	maxReportBytes = 1 << 20
-	maxBatchBytes  = 8 << 20
+	maxReportBytes  = 1 << 20
+	maxBatchBytes   = 8 << 20
+	maxControlBytes = 1 << 16
 )
 
-// Service is an HTTP aggregation endpoint: clients POST Envelope JSON
-// to /report (or a JSON array of envelopes to /report/batch), analysts
-// GET /estimate for the debiased counts and /status for collection
-// metadata. Ingestion is sharded across per-core oracles (see
-// ShardedAggregator), so concurrent reports do not serialize on one
-// mutex; /estimate merges the shards on demand, which is exact because
-// every oracle accumulator is linear. It is safe for concurrent use.
+// Service is an HTTP aggregation endpoint serving many concurrent
+// surveys: a registry of named collections, each an independent
+// ShardedAggregator. Clients POST Envelope JSON to
+// /collections/{name}/report (or a JSON array to .../report/batch),
+// analysts GET .../estimate for the debiased counts and .../status for
+// collection metadata; POST/GET /collections and DELETE
+// /collections/{name} manage the registry. The flat pre-collections
+// routes (/report, /report/batch, /estimate, /status) stay wired to
+// the "default" collection, so existing clients are untouched.
+//
+// Estimates are served from a per-collection merged snapshot that is
+// recomputed only when the ingestion epoch has advanced, so analyst
+// polling of an idle collection costs no re-merge. With a Store
+// attached, collection creations and deletions are mirrored to disk
+// immediately; periodic checkpointing is the caller's loop (see cmd/ldpd).
+// It is safe for concurrent use.
 type Service struct {
-	agg    *ShardedAggregator
-	params PrivacyParams
+	reg   *CollectionRegistry
+	store *Store // nil = memory-only
 }
 
-// NewService returns a collection service for the named mechanism with
-// one aggregation shard per core (GOMAXPROCS).
+// NewService returns a single-survey collection service for the named
+// mechanism with one aggregation shard per core (GOMAXPROCS).
 func NewService(mechanism string, p PrivacyParams) (*Service, error) {
 	return NewServiceSharded(mechanism, p, 0)
 }
 
-// NewServiceSharded returns a collection service with an explicit
-// shard count; shards <= 0 selects GOMAXPROCS.
+// NewServiceSharded returns a single-survey collection service with an
+// explicit shard count; shards <= 0 selects GOMAXPROCS. The survey
+// becomes the default collection, reachable through both the flat and
+// the /collections routes.
 func NewServiceSharded(mechanism string, p PrivacyParams, shards int) (*Service, error) {
-	agg, err := NewShardedAggregator(mechanism, p, shards, nil)
-	if err != nil {
+	reg := NewCollectionRegistry()
+	cfg := CollectionConfig{Mechanism: mechanism, Epsilon: p.Epsilon, Domain: p.Domain, Shards: shards}
+	if _, err := reg.Create(DefaultCollection, cfg); err != nil {
 		return nil, err
 	}
-	return &Service{agg: agg, params: p}, nil
+	return NewMultiService(reg, nil), nil
 }
 
-// Aggregator exposes the service's sharded aggregator, for embedding
-// the service in a larger process that also ingests reports directly.
-func (s *Service) Aggregator() *ShardedAggregator { return s.agg }
+// NewMultiService returns a service over an externally built registry,
+// for processes that restore collections from a Store before serving.
+// A non-nil store makes the collection-management routes persistent:
+// creates are checkpointed immediately and deletes remove the snapshot.
+func NewMultiService(reg *CollectionRegistry, store *Store) *Service {
+	return &Service{reg: reg, store: store}
+}
 
-// Handler returns the service's HTTP routes.
+// Registry exposes the service's collection registry.
+func (s *Service) Registry() *CollectionRegistry { return s.reg }
+
+// Aggregator exposes the default collection's sharded aggregator, for
+// embedding the service in a larger process that also ingests reports
+// directly. It is nil when no default collection exists.
+func (s *Service) Aggregator() *ShardedAggregator {
+	c, ok := s.reg.Get(DefaultCollection)
+	if !ok {
+		return nil
+	}
+	return c.agg
+}
+
+// Handler returns the service's HTTP routes. Method-qualified patterns
+// make the mux answer wrong-method requests with 405 and an Allow
+// header.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/report", s.handleReport)
-	mux.HandleFunc("/report/batch", s.handleReportBatch)
-	mux.HandleFunc("/estimate", s.handleEstimate)
-	mux.HandleFunc("/status", s.handleStatus)
+	// Flat legacy routes over the default collection.
+	mux.HandleFunc("POST /report", s.withCollection(s.handleReport))
+	mux.HandleFunc("POST /report/batch", s.withCollection(s.handleReportBatch))
+	mux.HandleFunc("GET /estimate", s.withCollection(s.handleEstimate))
+	mux.HandleFunc("GET /status", s.withCollection(s.handleStatus))
+	// Collection management.
+	mux.HandleFunc("POST /collections", s.handleCollectionCreate)
+	mux.HandleFunc("GET /collections", s.handleCollectionList)
+	mux.HandleFunc("DELETE /collections/{name}", s.handleCollectionDelete)
+	// Per-collection data plane.
+	mux.HandleFunc("POST /collections/{name}/report", s.withCollection(s.handleReport))
+	mux.HandleFunc("POST /collections/{name}/report/batch", s.withCollection(s.handleReportBatch))
+	mux.HandleFunc("GET /collections/{name}/estimate", s.withCollection(s.handleEstimate))
+	mux.HandleFunc("GET /collections/{name}/status", s.withCollection(s.handleStatus))
 	return mux
 }
 
-func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
+// withCollection resolves the {name} path segment (empty on the flat
+// routes, which serve the default collection) before invoking the
+// handler. Unknown names are a 404: reports for a survey that was
+// never created should bounce loudly, not conjure an aggregator.
+func (s *Service) withCollection(h func(http.ResponseWriter, *http.Request, *Collection)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if name == "" {
+			name = DefaultCollection
+		}
+		c, ok := s.reg.Get(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown collection %q", name), http.StatusNotFound)
+			return
+		}
+		h(w, r, c)
 	}
+}
+
+// decodeBody decodes one JSON value from the request body into v under
+// a size cap, distinguishing the three failure classes a collector
+// sees in practice: an oversize body is 413 (the client should split
+// or shrink, not "fix" its JSON), malformed JSON is 400, and trailing
+// data after the value is also 400 — a concatenated second envelope
+// would otherwise be silently dropped, which masks client framing bugs.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any, what string) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("%s exceeds %d bytes", what, tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, fmt.Sprintf("bad %s: %v", what, err), http.StatusBadRequest)
+		return false
+	}
+	// Token (not More) so that trailing non-value garbage like a stray
+	// "}" is caught too; io.EOF is the only clean outcome.
+	if _, err := dec.Token(); err != io.EOF {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// The value fit but the body kept going past the cap
+			// (padding, a giant second value): that is the oversize
+			// contract, not the framing one.
+			http.Error(w, fmt.Sprintf("%s exceeds %d bytes", what, tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, fmt.Sprintf("bad %s: trailing data after JSON body", what), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collection) {
 	var env Envelope
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBytes))
-	if err := dec.Decode(&env); err != nil {
-		http.Error(w, fmt.Sprintf("bad report: %v", err), http.StatusBadRequest)
+	if !decodeBody(w, r, maxReportBytes, &env, "report") {
 		return
 	}
-	if err := s.agg.Add(env); err != nil {
+	if err := c.agg.Add(env); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -86,61 +182,53 @@ type BatchResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
-func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
+func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *Collection) {
 	var batch []Envelope
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
-	if err := dec.Decode(&batch); err != nil {
-		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+	if !decodeBody(w, r, maxBatchBytes, &batch, "batch") {
 		return
 	}
-	accepted, err := s.agg.AddBatch(batch)
+	accepted, err := c.agg.AddBatch(batch)
 	resp := BatchResponse{Accepted: accepted, Rejected: len(batch) - accepted}
 	status := http.StatusAccepted
 	if err != nil {
 		resp.Error = err.Error()
 		status = http.StatusBadRequest
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, status, resp)
 }
 
 // EstimateResponse is the JSON body of /estimate.
 type EstimateResponse struct {
-	Mechanism string    `json:"mechanism"`
-	Epsilon   float64   `json:"epsilon"`
-	Domain    int       `json:"domain"`
-	Shards    int       `json:"shards"`
-	Reports   int       `json:"reports"`
-	Counts    []float64 `json:"counts"`
+	Collection string    `json:"collection"`
+	Mechanism  string    `json:"mechanism"`
+	Epsilon    float64   `json:"epsilon"`
+	Domain     int       `json:"domain"`
+	Shards     int       `json:"shards"`
+	Reports    int       `json:"reports"`
+	Counts     []float64 `json:"counts"`
 }
 
-func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
-	}
-	merged, err := s.agg.Merged()
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request, c *Collection) {
+	merged, err := c.agg.MergedCached()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, EstimateResponse{
-		Mechanism: merged.Name(),
-		Epsilon:   s.params.Epsilon,
-		Domain:    s.params.Domain,
-		Shards:    s.agg.Shards(),
-		Reports:   merged.Collected(),
-		Counts:    merged.EstimateCounts(),
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Collection: c.name,
+		Mechanism:  merged.Name(),
+		Epsilon:    c.cfg.Epsilon,
+		Domain:     c.cfg.Domain,
+		Shards:     c.agg.Shards(),
+		Reports:    merged.Collected(),
+		Counts:     merged.EstimateCounts(),
 	})
 }
 
-// StatusResponse is the JSON body of /status.
+// StatusResponse is the JSON body of /status and one element of the
+// GET /collections listing.
 type StatusResponse struct {
+	Collection string  `json:"collection"`
 	Mechanism  string  `json:"mechanism"`
 	Epsilon    float64 `json:"epsilon"`
 	Domain     int     `json:"domain"`
@@ -149,24 +237,171 @@ type StatusResponse struct {
 	ReportBits int     `json:"report_bits"`
 }
 
-func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
+func statusFor(c *Collection) StatusResponse {
+	return StatusResponse{
+		Collection: c.name,
+		Mechanism:  c.agg.Mechanism(),
+		Epsilon:    c.cfg.Epsilon,
+		Domain:     c.cfg.Domain,
+		Shards:     c.agg.Shards(),
+		Reports:    c.agg.Collected(),
+		ReportBits: c.agg.ReportBits(),
 	}
-	// Metadata only — no need for the full merge /estimate performs.
-	writeJSON(w, StatusResponse{
-		Mechanism:  s.agg.Mechanism(),
-		Epsilon:    s.params.Epsilon,
-		Domain:     s.params.Domain,
-		Shards:     s.agg.Shards(),
-		Reports:    s.agg.Collected(),
-		ReportBits: s.agg.ReportBits(),
-	})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, c *Collection) {
+	// Metadata only — no need for the full merge /estimate performs.
+	writeJSON(w, http.StatusOK, statusFor(c))
+}
+
+// CreateCollectionRequest is the JSON body of POST /collections.
+type CreateCollectionRequest struct {
+	Name string `json:"name"`
+	CollectionConfig
+}
+
+// Remote-surface caps on collection configuration. ldpd's CLI flags
+// are operator-trusted, but POST /collections is not: an unbounded
+// domain or shard count would let any client allocate domain-sized
+// vectors per shard until the process dies. Caps bound three axes —
+// per-parameter sanity, per-collection tally cells (domain × shards,
+// ~8 bytes each), and total registry size — so even a client looping
+// maximal creates cannot push the server past a bounded footprint.
+// The limits sit far above every configuration in the tutorial's
+// experiments.
+const (
+	maxCreateDomain  = 1 << 18
+	maxCreateShards  = 64
+	maxCreateEpsilon = 32
+	maxCreateCells   = 1 << 20
+	maxCollections   = 256
+)
+
+// validateCreateConfig bounds a network-supplied configuration before
+// any aggregator memory is allocated for it.
+func validateCreateConfig(cfg CollectionConfig) error {
+	if cfg.Domain > maxCreateDomain {
+		return fmt.Errorf("core: domain %d exceeds the API limit %d", cfg.Domain, maxCreateDomain)
+	}
+	if cfg.Shards > maxCreateShards {
+		return fmt.Errorf("core: shards %d exceeds the API limit %d", cfg.Shards, maxCreateShards)
+	}
+	if cfg.Epsilon > maxCreateEpsilon {
+		return fmt.Errorf("core: epsilon %g exceeds the API limit %d", cfg.Epsilon, maxCreateEpsilon)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if cells := cfg.Domain * shards; cells > maxCreateCells {
+		return fmt.Errorf("core: domain × shards = %d tally cells exceeds the API limit %d", cells, maxCreateCells)
+	}
+	return nil
+}
+
+func (s *Service) handleCollectionCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateCollectionRequest
+	if !decodeBody(w, r, maxControlBytes, &req, "collection config") {
+		return
+	}
+	if err := validateCreateConfig(req.CollectionConfig); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Checked outside the registry lock: a burst of racing creates can
+	// land a few past the cap, which is fine — the cap bounds abuse,
+	// not an exact quota.
+	if s.reg.Len() >= maxCollections {
+		http.Error(w, fmt.Sprintf("core: collection limit %d reached", maxCollections), http.StatusTooManyRequests)
+		return
+	}
+	c, err := s.reg.Create(req.Name, req.CollectionConfig)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrCollectionExists) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if s.store != nil {
+		// Persist the (empty) collection now, so its configuration
+		// survives a restart that beats the first checkpoint tick.
+		if err := s.store.Save(s.reg, c); err != nil {
+			// Roll back only while the collection is still empty:
+			// reports 202'd into it during this window must not vanish
+			// with it. Both sides are cleaned — Save can fail after the
+			// snapshot rename landed (e.g. the directory fsync), and a
+			// stray file would resurrect the "failed" collection on
+			// restart.
+			if s.reg.DeleteIfEmpty(c) {
+				if rerr := s.store.Remove(s.reg, c.name); rerr != nil {
+					err = errors.Join(err, rerr)
+				}
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			// Reports already landed: the collection stays live and
+			// memory-only for now; the checkpoint loop retries the
+			// persistence (the failed save recorded no epoch). The
+			// operator must hear about it — with periodic checkpoints
+			// disabled nothing else will mention the failure.
+			log.Printf("core: initial checkpoint of collection %q failed, kept memory-only until a checkpoint succeeds: %v", c.name, err)
+		}
+	}
+	writeJSON(w, http.StatusCreated, statusFor(c))
+}
+
+func (s *Service) handleCollectionList(w http.ResponseWriter, r *http.Request) {
+	cols := s.reg.Collections()
+	out := make([]StatusResponse, 0, len(cols))
+	for _, c := range cols {
+		out = append(out, statusFor(c))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleCollectionDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == DefaultCollection {
+		// The default collection backs the flat legacy routes; deleting
+		// it would turn them into 404s for every old client.
+		http.Error(w, "the default collection cannot be deleted", http.StatusBadRequest)
+		return
+	}
+	if !s.reg.Delete(name) {
+		// A previous DELETE may have deregistered the collection and
+		// then failed the snapshot unlink (answered 500). Retries must
+		// converge, so sweep a stray snapshot before the 404, gated on
+		// a file actually existing (an arbitrary name must not allocate
+		// store lock state); Remove itself refuses to touch a file a
+		// live case-variant collection owns. A failing sweep is a 500,
+		// not a 404: "not found" would tell the caller the name is
+		// fully gone while the snapshot still waits to resurrect it on
+		// the next restart.
+		if s.store != nil && !strings.EqualFold(name, DefaultCollection) && s.store.HasSnapshot(name) {
+			if err := s.store.Remove(s.reg, name); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("unknown collection %q", name), http.StatusNotFound)
+		return
+	}
+	if s.store != nil {
+		if err := s.store.Remove(s.reg, name); err != nil {
+			// The registry entry is already gone; report the disk
+			// failure so an operator knows a stale snapshot remains.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are already out; nothing more to do than drop the
 		// connection, which the server does for us.

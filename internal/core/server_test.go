@@ -139,6 +139,10 @@ func TestHandleReportRejectsMalformedEnvelopes(t *testing.T) {
 		{"bad base64 bits", MechanismOUE, Envelope{Mechanism: "OUE", Bits: "***"}},
 		{"empty bits", MechanismOUE, Envelope{Mechanism: "OUE", Bits: ""}},
 		{"wrong SHE length", MechanismSHE, Envelope{Mechanism: "SHE", Reals: []float64{1}}},
+		{"overflow-scale SHE component", MechanismSHE,
+			Envelope{Mechanism: "SHE", Reals: []float64{1.7e308, 0, 0, 0, 0, 0, 0, 0}}},
+		{"negative overflow SHE component", MechanismSHE,
+			Envelope{Mechanism: "SHE", Reals: []float64{0, -1e10, 0, 0, 0, 0, 0, 0}}},
 		{"bad HRR sign", MechanismHRR, Envelope{Mechanism: "HRR", Value: 1, Sign: 2}},
 	}
 	for _, c := range cases {
@@ -160,19 +164,64 @@ func TestHandleReportRejectsMalformedEnvelopes(t *testing.T) {
 func TestHandleReportRejectsOversizeBody(t *testing.T) {
 	_, ts := newTestServer(t, MechanismGRR, 2)
 	// Syntactically valid but oversize JSON bodies: the decoder must
-	// hit the MaxBytesReader limit before accepting them. The batch
-	// limit is deliberately higher than the single-report limit, so
-	// each endpoint is probed just past its own bound.
+	// hit the MaxBytesReader limit before accepting them, and the
+	// status must be 413 — not 400, which would send the client off
+	// debugging its JSON instead of its body size. The batch limit is
+	// deliberately higher than the single-report limit, so each
+	// endpoint is probed just past its own bound.
 	huge := []byte(`{"mechanism":"GRR","bits":"` + strings.Repeat("A", maxReportBytes+1024) + `","value":1}`)
 	resp := postJSON(t, ts.URL+"/report", huge)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversize /report status %d want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize /report status %d want 413", resp.StatusCode)
 	}
 
 	hugeBatch := []byte(`[{"mechanism":"GRR","bits":"` + strings.Repeat("A", maxBatchBytes+1024) + `","value":1}]`)
 	resp = postJSON(t, ts.URL+"/report/batch", hugeBatch)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize /report/batch status %d want 413", resp.StatusCode)
+	}
+
+	// Just under the limit is still a 400 (bad JSON), proving the 413
+	// path triggers on size, not on content.
+	small := []byte(`{"mechanism":"GRR","bits":` + strings.Repeat("A", 512))
+	resp = postJSON(t, ts.URL+"/report", small)
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversize /report/batch status %d want 400", resp.StatusCode)
+		t.Fatalf("malformed small /report status %d want 400", resp.StatusCode)
+	}
+}
+
+// TestHandleReportRejectsTrailingGarbage pins the framing fix: a body
+// holding a valid JSON value followed by anything else (a concatenated
+// second envelope, a stray brace) must be rejected, not silently
+// truncated to the first value.
+func TestHandleReportRejectsTrailingGarbage(t *testing.T) {
+	cases := []struct {
+		name, path, body string
+	}{
+		{"second envelope", "/report", `{"mechanism":"GRR","value":1}{"mechanism":"GRR","value":2}`},
+		{"stray brace", "/report", `{"mechanism":"GRR","value":1}}`},
+		{"junk text", "/report", `{"mechanism":"GRR","value":1} extra`},
+		{"second batch", "/report/batch", `[{"mechanism":"GRR","value":1}][{"mechanism":"GRR","value":2}]`},
+		{"batch stray bracket", "/report/batch", `[{"mechanism":"GRR","value":1}]]`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			svc, ts := newTestServer(t, MechanismGRR, 2)
+			resp := postJSON(t, ts.URL+c.path, []byte(c.body))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d want 400", resp.StatusCode)
+			}
+			if got := svc.Aggregator().Collected(); got != 0 {
+				t.Fatalf("garbage-framed request aggregated %d reports", got)
+			}
+		})
+	}
+	// Trailing whitespace stays legal: it is part of JSON framing.
+	_, ts := newTestServer(t, MechanismGRR, 2)
+	resp := postJSON(t, ts.URL+"/report", []byte("{\"mechanism\":\"GRR\",\"value\":1}\n  "))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trailing whitespace rejected with %d", resp.StatusCode)
 	}
 }
 

@@ -29,6 +29,18 @@ type ShardedAggregator struct {
 	params    PrivacyParams
 	shards    []*shard
 	seq       atomic.Uint64 // rotating stripe for repeated payloads
+
+	// epoch counts state mutations (accepted reports, resets,
+	// restores). MergedCached compares it against the epoch of the
+	// last merge to decide whether the cached merged oracle is still
+	// exact, so an idle collection answers estimates without
+	// re-merging every shard.
+	epoch      atomic.Uint64
+	mergeCount atomic.Uint64 // full merges performed, for tests/observability
+
+	cacheMu     sync.Mutex
+	cached      freq.Oracle // merged snapshot, read-only once published
+	cachedEpoch uint64
 }
 
 // shard pairs one oracle with its stripe lock. Padding would buy a few
@@ -102,6 +114,9 @@ func (a *ShardedAggregator) Add(e Envelope) error {
 	s.mu.Lock()
 	err := Aggregate(s.oracle, e)
 	s.mu.Unlock()
+	if err == nil {
+		a.epoch.Add(1)
+	}
 	return err
 }
 
@@ -112,16 +127,25 @@ func (a *ShardedAggregator) Add(e Envelope) error {
 // estimate) for its entire aggregation.
 const batchChunk = 1024
 
+// maxBatchErrors bounds how many per-envelope rejections the joined
+// AddBatch error spells out. A batch can hold hundreds of thousands of
+// envelopes, and a systematically misconfigured client (wrong domain,
+// wrong mechanism) rejects all of them — an unbounded join would build
+// a multi-megabyte error string that HTTP handlers then echo into the
+// response body. The first few rejections carry all the signal.
+const maxBatchErrors = 16
+
 // AddBatch folds a batch of envelopes chunk by chunk: one route and
 // one lock acquisition per chunk (the whole point of batching —
 // per-report locking overhead amortizes to nearly zero) while the
 // rotating stripe spreads chunks and successive batches across shards.
 // Any shard can absorb any envelope, so placement never affects the
 // merged estimate. The batch is not atomic: invalid envelopes are
-// skipped and reported via the joined error while the valid remainder
-// is still aggregated. It returns the number of envelopes accepted.
+// skipped and reported via the joined error (detailed up to
+// maxBatchErrors, then summarized) while the valid remainder is still
+// aggregated. It returns the number of envelopes accepted.
 func (a *ShardedAggregator) AddBatch(batch []Envelope) (int, error) {
-	accepted := 0
+	accepted, suppressed := 0, 0
 	var errs []error
 	for off := 0; off < len(batch); off += batchChunk {
 		chunk := batch[off:min(off+batchChunk, len(batch))]
@@ -129,12 +153,22 @@ func (a *ShardedAggregator) AddBatch(batch []Envelope) (int, error) {
 		sh.mu.Lock()
 		for i := range chunk {
 			if err := Aggregate(sh.oracle, chunk[i]); err != nil {
-				errs = append(errs, fmt.Errorf("envelope %d: %w", off+i, err))
+				if len(errs) < maxBatchErrors {
+					errs = append(errs, fmt.Errorf("envelope %d: %w", off+i, err))
+				} else {
+					suppressed++
+				}
 				continue
 			}
 			accepted++
 		}
 		sh.mu.Unlock()
+	}
+	if accepted > 0 {
+		a.epoch.Add(uint64(accepted))
+	}
+	if suppressed > 0 {
+		errs = append(errs, fmt.Errorf("and %d more rejected envelopes", suppressed))
 	}
 	return accepted, errors.Join(errs...)
 }
@@ -179,7 +213,79 @@ func (a *ShardedAggregator) Merged() (freq.Oracle, error) {
 			return nil, err
 		}
 	}
+	a.mergeCount.Add(1)
 	return merged, nil
+}
+
+// MergedCached returns a merged view of the shards, reusing the last
+// merge while the ingestion epoch is unchanged. The returned oracle is
+// shared between callers and must be treated as read-only (estimate
+// reads allocate their own output, so concurrent reads are safe);
+// callers that intend to mutate should use Merged.
+//
+// The epoch is read before the shards are walked: reports racing with
+// the merge may or may not be included in the cached view, but they
+// always advance the epoch past the recorded one, so the next call
+// re-merges rather than serving them stale forever.
+func (a *ShardedAggregator) MergedCached() (freq.Oracle, error) {
+	a.cacheMu.Lock()
+	defer a.cacheMu.Unlock()
+	// Loaded after taking the cache lock (but still before the merge),
+	// so a burst of concurrent readers behind one in-flight merge all
+	// observe the merger's epoch and reuse its result, instead of each
+	// arriving with an older epoch and re-merging in turn.
+	epoch := a.epoch.Load()
+	if a.cached != nil && a.cachedEpoch == epoch {
+		return a.cached, nil
+	}
+	merged, err := a.Merged()
+	if err != nil {
+		return nil, err
+	}
+	a.cached = merged
+	a.cachedEpoch = epoch
+	return merged, nil
+}
+
+// Epoch returns the current ingestion epoch: a counter advanced by
+// every accepted report, reset and restore. Equal epochs across two
+// observations mean the aggregate state is unchanged between them.
+func (a *ShardedAggregator) Epoch() uint64 { return a.epoch.Load() }
+
+// MergeCount returns how many full shard merges have run, exposed so
+// tests (and curious operators) can verify the epoch cache is working.
+func (a *ShardedAggregator) MergeCount() uint64 { return a.mergeCount.Load() }
+
+// MarshalState serializes the aggregator's combined state as one
+// oracle state blob (see freq.Oracle.MarshalState). Shard layout is
+// deliberately not preserved: merging is exact, so the combined state
+// is the whole truth and restores cleanly into any shard count.
+func (a *ShardedAggregator) MarshalState() ([]byte, error) {
+	merged, err := a.MergedCached()
+	if err != nil {
+		return nil, err
+	}
+	return merged.MarshalState()
+}
+
+// RestoreState loads a state blob produced by MarshalState into the
+// aggregator, which must be empty (restore happens at startup, before
+// ingestion begins — restoring over live data would double-count).
+// The whole restored aggregate lands in shard 0; subsequent ingestion
+// spreads over all shards as usual, and merging re-combines both.
+func (a *ShardedAggregator) RestoreState(data []byte) error {
+	if a.Collected() != 0 {
+		return errors.New("core: cannot restore state into a non-empty aggregator")
+	}
+	s := a.shards[0]
+	s.mu.Lock()
+	err := s.oracle.UnmarshalState(data)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	a.epoch.Add(1)
+	return nil
 }
 
 // Reset discards all aggregated reports in every shard.
@@ -189,4 +295,5 @@ func (a *ShardedAggregator) Reset() {
 		s.oracle.Reset()
 		s.mu.Unlock()
 	}
+	a.epoch.Add(1)
 }

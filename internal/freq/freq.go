@@ -64,6 +64,22 @@ type Oracle interface {
 	// source, so use snapshots for reads and merging, not for
 	// concurrent privatization.
 	Snapshot() Oracle
+	// MarshalState serializes the oracle's aggregate state (the
+	// accumulated tallies plus the parameters that debias them) as
+	// JSON. Every accumulator in this package is a count or float64
+	// sum vector, and Go's JSON encoding of float64 round-trips
+	// exactly, so Marshal → Unmarshal reproduces the estimates
+	// bit for bit — the property the checkpoint/restore cycle of a
+	// collection server depends on.
+	MarshalState() ([]byte, error)
+	// UnmarshalState replaces the oracle's aggregate state with a
+	// previously marshalled one. The state must come from the same
+	// mechanism with identical parameters (anything else is an
+	// error and leaves the receiver unchanged): the parameters are
+	// serialized alongside the tallies precisely so a restore onto
+	// a differently-configured oracle cannot silently debias with
+	// the wrong constants.
+	UnmarshalState(data []byte) error
 }
 
 // mergeTypeError reports an attempt to merge across mechanisms.
@@ -75,6 +91,31 @@ func mergeTypeError(dst, src Oracle) error {
 // parameters.
 func mergeParamError(name string) error {
 	return fmt.Errorf("freq: %s merge parameter mismatch", name)
+}
+
+// stateDecodeError reports unparseable serialized state.
+func stateDecodeError(name string, err error) error {
+	return fmt.Errorf("freq: %s state: %w", name, err)
+}
+
+// stateParamError reports an attempt to restore state onto an oracle
+// with different parameters (or a different mechanism entirely).
+func stateParamError(name string) error {
+	return fmt.Errorf("freq: %s state parameter mismatch", name)
+}
+
+// stateShapeError reports serialized state whose tallies are
+// malformed: wrong vector length or a negative report count.
+func stateShapeError(name string) error {
+	return fmt.Errorf("freq: %s state has malformed tallies", name)
+}
+
+// checkStateShape validates the parts every mechanism state shares.
+func checkStateShape(name string, n, gotLen, wantLen int) error {
+	if n < 0 || gotLen != wantLen {
+		return stateShapeError(name)
+	}
+	return nil
 }
 
 // checkDomain validates a client input.

@@ -1,6 +1,7 @@
 package freq
 
 import (
+	"encoding/json"
 	"math"
 
 	"repro/internal/ldprand"
@@ -134,6 +135,55 @@ func (g *GRR) snapshotGRR() *GRR {
 	return &c
 }
 
+// grrState is the serialized aggregate of a GRR (or BinaryRR) oracle.
+type grrState struct {
+	Mechanism string  `json:"mechanism"`
+	Epsilon   float64 `json:"epsilon"`
+	Domain    int     `json:"domain"`
+	N         int     `json:"n"`
+	Counts    []int   `json:"counts"`
+}
+
+// MarshalState implements Oracle.
+func (g *GRR) MarshalState() ([]byte, error) { return g.marshalStateAs(g.Name()) }
+
+// UnmarshalState implements Oracle.
+func (g *GRR) UnmarshalState(data []byte) error { return g.unmarshalStateAs(g.Name(), data) }
+
+func (g *GRR) marshalStateAs(name string) ([]byte, error) {
+	return json.Marshal(grrState{
+		Mechanism: name, Epsilon: g.epsilon, Domain: g.d, N: g.n, Counts: g.counts,
+	})
+}
+
+func (g *GRR) unmarshalStateAs(name string, data []byte) error {
+	var st grrState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return stateDecodeError(name, err)
+	}
+	if st.Mechanism != name || st.Epsilon != g.epsilon || st.Domain != g.d {
+		return stateParamError(name)
+	}
+	if err := checkStateShape(name, st.N, len(st.Counts), g.d); err != nil {
+		return err
+	}
+	// GRR's tally is exact: every report lands in exactly one bucket,
+	// so a state whose counts do not sum to n was corrupted somewhere.
+	sum := 0
+	for _, c := range st.Counts {
+		if c < 0 {
+			return stateShapeError(name)
+		}
+		sum += c
+	}
+	if sum != st.N {
+		return stateShapeError(name)
+	}
+	copy(g.counts, st.Counts)
+	g.n = st.N
+	return nil
+}
+
 // bitsFor returns ceil(log2(d)), at least 1.
 func bitsFor(d int) int {
 	bits := 0
@@ -174,6 +224,13 @@ func (b BinaryRR) Merge(other Oracle) error {
 
 // Snapshot implements Oracle.
 func (b BinaryRR) Snapshot() Oracle { return BinaryRR{b.GRR.snapshotGRR()} }
+
+// MarshalState implements Oracle, writing the wrapper's "RR" name so
+// BinaryRR state cannot silently restore into a generic d=2 GRR.
+func (b BinaryRR) MarshalState() ([]byte, error) { return b.GRR.marshalStateAs(b.Name()) }
+
+// UnmarshalState implements Oracle.
+func (b BinaryRR) UnmarshalState(data []byte) error { return b.GRR.unmarshalStateAs(b.Name(), data) }
 
 // EstimateProportion returns the estimated fraction of "1" answers and
 // the half-width of a (1−delta) confidence interval around it, using

@@ -1,6 +1,7 @@
 package freq
 
 import (
+	"encoding/json"
 	"math"
 
 	"repro/internal/ldprand"
@@ -151,4 +152,39 @@ func (h *HRR) Snapshot() Oracle {
 	c := *h
 	c.coefSum = append([]float64(nil), h.coefSum...)
 	return &c
+}
+
+// hrrState is the serialized aggregate of an HRR oracle. The
+// coefficient sums run over the padded power-of-two domain, which is
+// derived from the logical domain and therefore not stored separately.
+type hrrState struct {
+	Mechanism string    `json:"mechanism"`
+	Epsilon   float64   `json:"epsilon"`
+	Domain    int       `json:"domain"`
+	N         int       `json:"n"`
+	CoefSum   []float64 `json:"coef_sum"`
+}
+
+// MarshalState implements Oracle.
+func (h *HRR) MarshalState() ([]byte, error) {
+	return json.Marshal(hrrState{
+		Mechanism: h.Name(), Epsilon: h.epsilon, Domain: h.d, N: h.n, CoefSum: h.coefSum,
+	})
+}
+
+// UnmarshalState implements Oracle.
+func (h *HRR) UnmarshalState(data []byte) error {
+	var st hrrState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return stateDecodeError(h.Name(), err)
+	}
+	if st.Mechanism != h.Name() || st.Epsilon != h.epsilon || st.Domain != h.d {
+		return stateParamError(h.Name())
+	}
+	if err := checkStateShape(h.Name(), st.N, len(st.CoefSum), h.dd); err != nil {
+		return err
+	}
+	copy(h.coefSum, st.CoefSum)
+	h.n = st.N
+	return nil
 }

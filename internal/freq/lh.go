@@ -1,6 +1,7 @@
 package freq
 
 import (
+	"encoding/json"
 	"math"
 
 	"repro/internal/hashutil"
@@ -182,4 +183,41 @@ func (l *LH) Snapshot() Oracle {
 	c := *l
 	c.support = append([]float64(nil), l.support...)
 	return &c
+}
+
+// lhState is the serialized aggregate of a local-hashing oracle. The
+// hash range g is carried (it fixes the debiasing constants) and the
+// name distinguishes BLH from an explicit g=2 LH, mirroring Merge.
+type lhState struct {
+	Mechanism string    `json:"mechanism"`
+	Epsilon   float64   `json:"epsilon"`
+	Domain    int       `json:"domain"`
+	G         int       `json:"g"`
+	N         int       `json:"n"`
+	Support   []float64 `json:"support"`
+}
+
+// MarshalState implements Oracle.
+func (l *LH) MarshalState() ([]byte, error) {
+	return json.Marshal(lhState{
+		Mechanism: l.name, Epsilon: l.epsilon, Domain: l.d,
+		G: l.g, N: l.n, Support: l.support,
+	})
+}
+
+// UnmarshalState implements Oracle.
+func (l *LH) UnmarshalState(data []byte) error {
+	var st lhState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return stateDecodeError(l.name, err)
+	}
+	if st.Mechanism != l.name || st.Epsilon != l.epsilon || st.Domain != l.d || st.G != l.g {
+		return stateParamError(l.name)
+	}
+	if err := checkStateShape(l.name, st.N, len(st.Support), l.d); err != nil {
+		return err
+	}
+	copy(l.support, st.Support)
+	l.n = st.N
+	return nil
 }

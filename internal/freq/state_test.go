@@ -1,0 +1,168 @@
+package freq
+
+// Serialization coverage for every oracle in the registry: state must
+// round-trip bit-identically (the property the server checkpoint cycle
+// rests on), be stable under re-marshalling, and refuse to restore
+// onto an oracle with different parameters or a different mechanism.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+// collectSome drives a few hundred random values through the oracle.
+func collectSome(o Oracle, seed uint64, n int) {
+	src := ldprand.NewSplitMix64(seed)
+	for i := 0; i < n; i++ {
+		o.Collect(ldprand.Intn(src, o.Domain()))
+	}
+}
+
+func TestStateRoundTripAllMechanisms(t *testing.T) {
+	cfg := Config{Epsilon: 1.2, Domain: 16}
+	for _, m := range Mechanisms() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			o := m.Build(Config{Epsilon: cfg.Epsilon, Domain: cfg.Domain, Source: ldprand.NewSplitMix64(11)})
+			collectSome(o, 13, 400)
+
+			state, err := o.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := m.Build(cfg)
+			if err := fresh.UnmarshalState(state); err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Collected() != o.Collected() {
+				t.Fatalf("collected %d, want %d", fresh.Collected(), o.Collected())
+			}
+			// Bit-identical estimates, not approximately equal: restore
+			// must reproduce the aggregate exactly.
+			if !reflect.DeepEqual(fresh.EstimateCounts(), o.EstimateCounts()) {
+				t.Fatal("restored estimates differ from the original")
+			}
+			// Marshalling the restored oracle reproduces the same bytes.
+			again, err := fresh.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(state, again) {
+				t.Fatalf("re-marshalled state differs:\n%s\n%s", state, again)
+			}
+			// The restored oracle is a full citizen: merging the
+			// original's snapshot in doubles every tally.
+			if err := fresh.Merge(o.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Collected() != 2*o.Collected() {
+				t.Fatalf("merged collected %d, want %d", fresh.Collected(), 2*o.Collected())
+			}
+		})
+	}
+}
+
+func TestStateRoundTripBinaryRR(t *testing.T) {
+	b := NewBinaryRR(0.8, ldprand.NewSplitMix64(17))
+	collectSome(b, 19, 300)
+	state, err := b.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewBinaryRR(0.8, nil)
+	if err := fresh.UnmarshalState(state); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.EstimateCounts(), b.EstimateCounts()) {
+		t.Fatal("restored estimates differ from the original")
+	}
+	// BinaryRR state carries the wrapper's "RR" name, so it must not
+	// restore into a generic d=2 GRR (and vice versa), mirroring Merge.
+	grr := NewGRR(0.8, 2, nil)
+	if err := grr.UnmarshalState(state); err == nil {
+		t.Fatal("RR state restored into a plain GRR")
+	}
+	grrState, err := grr.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewBinaryRR(0.8, nil).UnmarshalState(grrState); err == nil {
+		t.Fatal("GRR state restored into a BinaryRR")
+	}
+}
+
+func TestStateRejectsMismatch(t *testing.T) {
+	cfg := Config{Epsilon: 1.2, Domain: 16}
+	builders := Mechanisms()
+	// State from each mechanism must be rejected by every other
+	// mechanism (at identical ε and d, the confusable case).
+	states := make(map[string][]byte)
+	for _, m := range builders {
+		o := m.Build(Config{Epsilon: cfg.Epsilon, Domain: cfg.Domain, Source: ldprand.NewSplitMix64(23)})
+		collectSome(o, 29, 50)
+		st, err := o.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[m.Name] = st
+	}
+	for _, m := range builders {
+		for name, st := range states {
+			if name == m.Name {
+				continue
+			}
+			if err := m.Build(cfg).UnmarshalState(st); err == nil {
+				t.Errorf("%s accepted %s state", m.Name, name)
+			}
+		}
+	}
+}
+
+func TestStateRejectsParamAndShapeChanges(t *testing.T) {
+	for _, m := range Mechanisms() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			o := m.Build(Config{Epsilon: 1.2, Domain: 16, Source: ldprand.NewSplitMix64(31)})
+			collectSome(o, 37, 50)
+			st, err := o.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Build(Config{Epsilon: 0.7, Domain: 16}).UnmarshalState(st); err == nil {
+				t.Error("state restored under a different epsilon")
+			}
+			if err := m.Build(Config{Epsilon: 1.2, Domain: 32}).UnmarshalState(st); err == nil {
+				t.Error("state restored under a different domain")
+			}
+			if err := m.Build(Config{Epsilon: 1.2, Domain: 16}).UnmarshalState([]byte(`{"mechanism":`)); err == nil {
+				t.Error("truncated JSON accepted")
+			}
+			if err := m.Build(Config{Epsilon: 1.2, Domain: 16}).UnmarshalState([]byte(`{}`)); err == nil {
+				t.Error("empty state object accepted")
+			}
+		})
+	}
+}
+
+// TestStateFailureLeavesOracleUsable pins that a rejected restore does
+// not corrupt the receiver: parameter checks run before any tally is
+// touched.
+func TestStateFailureLeavesOracleUsable(t *testing.T) {
+	o := NewGRR(1.0, 8, ldprand.NewSplitMix64(41))
+	collectSome(o, 43, 100)
+	before := o.EstimateCounts()
+	wrong := NewGRR(2.0, 8, nil)
+	wrongState, err := wrong.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.UnmarshalState(wrongState); err == nil {
+		t.Fatal("mismatched state accepted")
+	}
+	if !reflect.DeepEqual(o.EstimateCounts(), before) {
+		t.Fatal("failed restore mutated the oracle")
+	}
+}

@@ -1,6 +1,7 @@
 package freq
 
 import (
+	"encoding/json"
 	"math"
 
 	"repro/internal/bitvec"
@@ -166,4 +167,49 @@ func (u *UE) Snapshot() Oracle {
 	c := *u
 	c.ones = append([]int(nil), u.ones...)
 	return &c
+}
+
+// ueState is the serialized aggregate of a unary-encoding oracle. The
+// (p, q) pair is carried so SUE, OUE and custom-UE state stay mutually
+// exclusive even at equal ε (they debias with different constants).
+type ueState struct {
+	Mechanism string  `json:"mechanism"`
+	Epsilon   float64 `json:"epsilon"`
+	Domain    int     `json:"domain"`
+	P         float64 `json:"p"`
+	Q         float64 `json:"q"`
+	N         int     `json:"n"`
+	Ones      []int   `json:"ones"`
+}
+
+// MarshalState implements Oracle.
+func (u *UE) MarshalState() ([]byte, error) {
+	return json.Marshal(ueState{
+		Mechanism: u.name, Epsilon: u.epsilon, Domain: u.d,
+		P: u.p, Q: u.q, N: u.n, Ones: u.ones,
+	})
+}
+
+// UnmarshalState implements Oracle.
+func (u *UE) UnmarshalState(data []byte) error {
+	var st ueState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return stateDecodeError(u.name, err)
+	}
+	if st.Mechanism != u.name || st.Epsilon != u.epsilon || st.Domain != u.d ||
+		st.P != u.p || st.Q != u.q {
+		return stateParamError(u.name)
+	}
+	if err := checkStateShape(u.name, st.N, len(st.Ones), u.d); err != nil {
+		return err
+	}
+	for _, c := range st.Ones {
+		// Each position tallies at most one 1 per report.
+		if c < 0 || c > st.N {
+			return stateShapeError(u.name)
+		}
+	}
+	copy(u.ones, st.Ones)
+	u.n = st.N
+	return nil
 }
