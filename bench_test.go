@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -223,9 +224,19 @@ func BenchmarkServerThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Every variant ingests the same raw JSON (the task-generic wire
+	// form) and pays the same parse+validate work per report, so the
+	// cross-variant ratios compare aggregation architecture only.
+	raws := make([]json.RawMessage, len(envs))
+	for i := range envs {
+		if raws[i], err = json.Marshal(envs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
 
 	b.Run("single-mutex", func(b *testing.B) {
-		// The pre-sharding architecture, reproduced inline.
+		// The pre-sharding architecture, reproduced inline: parse and
+		// aggregate serialized on one lock around one oracle.
 		oracle, err := core.NewOracle(core.MechanismGRR, p, nil)
 		if err != nil {
 			b.Fatal(err)
@@ -234,12 +245,16 @@ func BenchmarkServerThroughput(b *testing.B) {
 		var i atomic.Uint64
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
-				e := envs[i.Add(1)%pool]
+				var e core.Envelope
+				if err := json.Unmarshal(raws[i.Add(1)%pool], &e); err != nil {
+					// b.Fatal is not legal off the benchmark goroutine.
+					b.Error(err)
+					return
+				}
 				mu.Lock()
 				err := core.Aggregate(oracle, e)
 				mu.Unlock()
 				if err != nil {
-					// b.Fatal is not legal off the benchmark goroutine.
 					b.Error(err)
 					return
 				}
@@ -248,14 +263,14 @@ func BenchmarkServerThroughput(b *testing.B) {
 	})
 
 	b.Run("sharded", func(b *testing.B) {
-		agg, err := core.NewShardedAggregator(core.MechanismGRR, p, 0, nil)
+		agg, err := core.NewFreqShardedAggregator(core.MechanismGRR, p, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
 		var i atomic.Uint64
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
-				if err := agg.Add(envs[i.Add(1)%pool]); err != nil {
+				if err := agg.Add(raws[i.Add(1)%pool]); err != nil {
 					b.Error(err)
 					return
 				}
@@ -265,7 +280,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 
 	b.Run("sharded-batch", func(b *testing.B) {
 		const batch = 256
-		agg, err := core.NewShardedAggregator(core.MechanismGRR, p, 0, nil)
+		agg, err := core.NewFreqShardedAggregator(core.MechanismGRR, p, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,7 +288,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				off := int(i.Add(1)*batch) % (pool - batch)
-				if _, err := agg.AddBatch(envs[off : off+batch]); err != nil {
+				if _, err := agg.AddBatch(raws[off : off+batch]); err != nil {
 					b.Error(err)
 					return
 				}

@@ -1,7 +1,17 @@
 // Command ldpclient is the user-side half of the collection pipeline:
-// it reads integer values (one per line) from stdin, privatizes each
-// one locally with crypto/rand randomness, and POSTs the randomized
+// it reads raw records (one per line) from stdin, privatizes each one
+// locally with crypto/rand randomness, and POSTs the randomized
 // envelopes to an ldpd server. Raw values never leave the process.
+//
+// The -task flag selects the record type and mechanism family:
+//
+//	-task freq   (default) integer values in [0, domain); mechanisms
+//	             GRR, SUE, OUE, SHE, THE, BLH, OLH, HRR, SS
+//	-task mean   numeric records in [-1,1]: one float per line, or
+//	             -dim comma-separated floats; mechanisms duchi, harmony
+//	-task sketch arbitrary string items (words, URLs); mechanisms
+//	             CMS, HCMS with -width/-hashes/-sketch-seed matching
+//	             the server's collection
 //
 // With -batch > 1 the client buffers that many privatized envelopes
 // and ships them in one POST /report/batch request, which is how a
@@ -17,6 +27,8 @@
 //
 //	seq 0 99 | ldpclient -server http://localhost:8080 -mechanism OLH -epsilon 1 -domain 128 -batch 50
 //	seq 0 31 | ldpclient -collection study-a -mechanism GRR -epsilon 1 -domain 32
+//	printf '0.23\n-0.7\n' | ldpclient -collection screen-time -task mean -epsilon 1
+//	printf 'hello\nworld\n' | ldpclient -collection words -task sketch -epsilon 2 -width 256 -hashes 16
 package main
 
 import (
@@ -34,15 +46,26 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/task"
+	"repro/internal/task/cmstask"
+	"repro/internal/task/meantask"
 )
+
+// privatizer turns one stdin line into a privatized wire envelope.
+type privatizer func(line string) (json.RawMessage, error)
 
 func main() {
 	var (
 		server     = flag.String("server", "http://localhost:8080", "ldpd base URL")
 		collection = flag.String("collection", "", "target collection (empty = the server's default collection via the flat routes)")
-		mechanism  = flag.String("mechanism", core.MechanismOLH, "frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
+		taskName   = flag.String("task", task.TypeFreq, "task family: freq, mean, sketch")
+		mechanism  = flag.String("mechanism", "", "mechanism within the task family (default: OLH / duchi / CMS per task)")
 		epsilon    = flag.Float64("epsilon", 1.0, "privacy budget per report")
-		domain     = flag.Int("domain", 128, "input domain size")
+		domain     = flag.Int("domain", 128, "freq: input domain size")
+		dim        = flag.Int("dim", 1, "mean: record dimension (harmony; duchi is scalar)")
+		width      = flag.Int("width", 1024, "sketch: counters per hash row (power of two for HCMS)")
+		hashes     = flag.Int("hashes", 64, "sketch: number of hash rows")
+		sketchSeed = flag.Uint64("sketch-seed", 0, "sketch: shared hash seed (must match the collection)")
 		batch      = flag.Int("batch", 1, "envelopes per request (1 = POST /report per value; oversized batches auto-flush early to fit the server's body cap)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	)
@@ -56,21 +79,21 @@ func main() {
 		base += "/collections/" + url.PathEscape(*collection)
 	}
 
-	client, err := core.NewClient(*mechanism, core.PrivacyParams{Epsilon: *epsilon, Domain: *domain}, nil)
+	privatize, err := newPrivatizer(*taskName, *mechanism, *epsilon, *domain, *dim, *width, *hashes, *sketchSeed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "ldpclient:", err)
 		os.Exit(2)
 	}
 	httpClient := &http.Client{Timeout: *timeout}
 
 	// Flush early when the encoded batch would approach the server's
-	// 8 MiB body cap — wide envelopes (SHE at large domains) hit the
-	// byte limit long before a reasonable -batch count does, and a
-	// whole oversize batch would be rejected outright.
+	// 8 MiB body cap — wide envelopes (SHE at large domains, CMS at
+	// large widths) hit the byte limit long before a reasonable -batch
+	// count does, and a whole oversize batch would be rejected outright.
 	const maxBatchBody = 6 << 20
 
 	sent, failed := 0, 0
-	pending := make([]core.Envelope, 0, *batch)
+	pending := make([]json.RawMessage, 0, *batch)
 	pendingBytes := 0
 	flush := func() {
 		if len(pending) == 0 {
@@ -92,15 +115,9 @@ func main() {
 		if line == "" {
 			continue
 		}
-		v, err := strconv.Atoi(line)
+		env, err := privatize(line)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ldpclient: skipping %q: %v\n", line, err)
-			failed++
-			continue
-		}
-		env, err := client.Report(v)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
 			failed++
 			continue
 		}
@@ -113,12 +130,7 @@ func main() {
 			sent++
 			continue
 		}
-		size, err := envelopeSize(env)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
-			failed++
-			continue
-		}
+		size := len(env) + 1 // plus the array separator
 		if len(pending) > 0 && pendingBytes+size > maxBatchBody {
 			flush()
 		}
@@ -133,18 +145,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ldpclient: stdin:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("ldpclient: sent %d reports (%d failed) via %s ε=%g\n", sent, failed, *mechanism, *epsilon)
+	fmt.Printf("ldpclient: sent %d reports (%d failed) via %s ε=%g\n", sent, failed, *taskName, *epsilon)
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
-func post(c *http.Client, url string, env core.Envelope) error {
-	body, err := json.Marshal(env)
-	if err != nil {
-		return err
+// newPrivatizer builds the line → envelope function for the selected
+// task family, resolving the per-task default mechanism.
+func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, width, hashes int, sketchSeed uint64) (privatizer, error) {
+	switch taskName {
+	case task.TypeFreq:
+		if mechanism == "" {
+			mechanism = core.MechanismOLH
+		}
+		client, err := core.NewClient(mechanism, core.PrivacyParams{Epsilon: epsilon, Domain: domain}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return func(line string) (json.RawMessage, error) {
+			v, err := strconv.Atoi(line)
+			if err != nil {
+				return nil, err
+			}
+			env, err := client.Report(v)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(env)
+		}, nil
+	case task.TypeMean:
+		if mechanism == "" {
+			mechanism = meantask.MechanismDuchi
+			if dim > 1 {
+				mechanism = meantask.MechanismHarmony
+			}
+		}
+		client, err := meantask.NewClient(task.Config{Task: task.TypeMean, Mechanism: mechanism, Epsilon: epsilon, Dim: dim}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return func(line string) (json.RawMessage, error) {
+			parts := strings.Split(line, ",")
+			if len(parts) != client.Dim() {
+				return nil, fmt.Errorf("record has %d values, want %d", len(parts), client.Dim())
+			}
+			x := make([]float64, len(parts))
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil {
+					return nil, err
+				}
+				x[i] = v
+			}
+			return client.Report(x)
+		}, nil
+	case task.TypeSketch:
+		if mechanism == "" {
+			mechanism = cmstask.MechanismCMS
+		}
+		client, err := cmstask.NewClient(task.Config{
+			Task: task.TypeSketch, Mechanism: mechanism, Epsilon: epsilon,
+			Width: width, Hashes: hashes, SketchSeed: sketchSeed,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return func(line string) (json.RawMessage, error) {
+			return client.Report([]byte(line))
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown task %q (have freq, mean, sketch)", taskName)
 	}
-	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+}
+
+func post(c *http.Client, url string, env json.RawMessage) error {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(env))
 	if err != nil {
 		return err
 	}
@@ -158,23 +234,12 @@ func post(c *http.Client, url string, env core.Envelope) error {
 	return nil
 }
 
-// envelopeSize returns the JSON-encoded size of one envelope plus its
-// array separator, for tracking how close the pending batch is to the
-// server's body cap.
-func envelopeSize(env core.Envelope) (int, error) {
-	body, err := json.Marshal(env)
-	if err != nil {
-		return 0, err
-	}
-	return len(body) + 1, nil
-}
-
 // postBatch ships one /report/batch request and returns how many
 // envelopes the server accepted. When the response body is not the
 // expected BatchResponse JSON (a 405, a proxy error page, ...) the
 // error carries the HTTP status and a snippet of the body, which is
 // what actually identifies the problem — not the decode failure.
-func postBatch(c *http.Client, base string, batch []core.Envelope) (int, error) {
+func postBatch(c *http.Client, base string, batch []json.RawMessage) (int, error) {
 	body, err := json.Marshal(batch)
 	if err != nil {
 		return 0, err

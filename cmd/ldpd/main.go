@@ -5,11 +5,13 @@
 // across per-core oracles so heavy traffic does not serialize on one
 // mutex.
 //
-// One server hosts many concurrent surveys: POST /collections creates
-// a named collection with its own mechanism and privacy parameters,
-// and /collections/{name}/report|estimate|status address it. The flat
-// routes remain wired to the "default" collection, configured by the
-// -mechanism/-epsilon/-domain flags.
+// One server hosts many concurrent surveys of any registered task
+// family: POST /collections creates a named collection with its own
+// task type ("freq" frequency oracles, "mean" numeric means, "sketch"
+// private count sketches), mechanism and privacy parameters, and
+// /collections/{name}/report|estimate|status address it. The flat
+// routes remain wired to the "default" collection (always a frequency
+// survey), configured by the -mechanism/-epsilon/-domain flags.
 //
 // With -state-dir set, every collection is checkpointed to a JSON
 // snapshot in that directory (atomically, write-temp-then-rename)
@@ -26,8 +28,11 @@
 //
 //	curl -X POST localhost:8080/report -d '{"mechanism":"GRR","value":3}'
 //	curl -X POST localhost:8080/collections -d '{"name":"study-a","mechanism":"GRR","epsilon":1,"domain":32}'
+//	curl -X POST localhost:8080/collections -d '{"name":"screen-time","task":"mean","mechanism":"duchi","epsilon":1}'
+//	curl -X POST localhost:8080/collections -d '{"name":"words","task":"sketch","mechanism":"CMS","epsilon":2,"width":256,"hashes":16}'
 //	curl -X POST localhost:8080/collections/study-a/report -d '{"mechanism":"GRR","value":3}'
 //	curl localhost:8080/collections/study-a/estimate
+//	curl 'localhost:8080/collections/words/estimate?item=hello&item=world'
 package main
 
 import (
@@ -45,6 +50,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+
+	// Task adapters register themselves with the task registry; every
+	// family linked here is creatable via POST /collections and
+	// restorable from snapshots. (The freq adapter rides in with core.)
+	_ "repro/internal/task/cmstask"
+	_ "repro/internal/task/meantask"
 )
 
 func main() {
@@ -83,7 +94,7 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 		}
 	}
 
-	defaultCfg := core.CollectionConfig{Mechanism: mechanism, Epsilon: epsilon, Domain: domain, Shards: shards}
+	defaultCfg := core.FreqCollectionConfig(mechanism, core.PrivacyParams{Epsilon: epsilon, Domain: domain}, shards)
 	def, ok := reg.Get(core.DefaultCollection)
 	if ok {
 		// A restored snapshot wins over the flags: silently rebuilding

@@ -1,0 +1,107 @@
+// Meansurvey: a numeric survey served end-to-end through the
+// task-generic collection stack. The question is the classic telemetry
+// one — "how many hours of screen time yesterday?" — which no
+// frequency oracle answers well: the domain is continuous and the
+// analyst wants a mean, not a histogram. Each simulated device scales
+// its answer into [-1, 1], privatizes it with the Duchi mechanism
+// (task "mean" on the server), and POSTs the ±C envelope to a
+// collection server over real HTTP; the analyst reads the debiased
+// mean ± CI back from /estimate. Raw hours never leave the device.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/meantask"
+)
+
+const (
+	epsilon  = 1.0
+	users    = 50000
+	maxHours = 16.0 // answers are clamped to [0, maxHours] then scaled
+)
+
+func main() {
+	// Server side: a collection registry with one "mean" collection,
+	// exactly what `ldpd` builds; the example serves it over a loopback
+	// HTTP listener to keep the wire format honest.
+	reg := core.NewCollectionRegistry()
+	svc := core.NewMultiService(reg, nil)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	createBody := `{"name":"screen-time","task":"mean","mechanism":"duchi","epsilon":1}`
+	resp, err := http.Post(ts.URL+"/collections", "application/json", strings.NewReader(createBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("create collection: status %d", resp.StatusCode)
+	}
+
+	// Client side: each device privatizes locally and ships only the
+	// randomized report. (One shared deterministic source keeps the
+	// example reproducible; real devices use crypto/rand via nil.)
+	cfg := task.Config{Task: task.TypeMean, Mechanism: meantask.MechanismDuchi, Epsilon: epsilon}
+	client, err := meantask.NewClient(cfg, ldprand.NewSplitMix64(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	population := ldprand.NewSplitMix64(2) // simulation only: true usage
+	var trueSum float64
+	for i := 0; i < users; i++ {
+		// A plausible skewed usage distribution in [0, maxHours).
+		hours := maxHours * ldprand.Float64(population) * ldprand.Float64(population)
+		trueSum += hours
+		scaled := 2*hours/maxHours - 1 // [0, maxHours] → [-1, 1]
+		env, err := client.Report([]float64{scaled})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/collections/screen-time/report", "application/json",
+			strings.NewReader(string(env)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			log.Fatalf("report %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Analyst side: one GET answers the survey.
+	resp, err = http.Get(ts.URL + "/collections/screen-time/estimate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er core.EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		log.Fatal(err)
+	}
+	var mr meantask.EstimateResult
+	if err := json.Unmarshal(er.Estimate, &mr); err != nil {
+		log.Fatal(err)
+	}
+
+	// Undo the [-1,1] scaling to report in hours.
+	estHours := (mr.Means[0] + 1) / 2 * maxHours
+	ciHours := mr.CI95 / 2 * maxHours
+	trueMean := trueSum / users
+	fmt.Printf("true mean screen time:      %.3f h (never observed by the server)\n", trueMean)
+	fmt.Printf("estimated mean screen time: %.3f h ± %.3f (95%% CI)\n", estHours, ciHours)
+	fmt.Printf("users: %d, epsilon: %.1f, reports: %d, task: %s/%s\n",
+		users, epsilon, er.Reports, er.Task, er.Mechanism)
+}

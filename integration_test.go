@@ -19,6 +19,7 @@ import (
 	"repro/internal/ldprand"
 	"repro/internal/postprocess"
 	"repro/internal/stats"
+	"repro/internal/task/freqtask"
 	"repro/internal/workload"
 )
 
@@ -94,7 +95,11 @@ func TestPipelineWithAccountingAndPostprocessing(t *testing.T) {
 	if est.Reports != n {
 		t.Fatalf("reports %d want %d", est.Reports, n)
 	}
-	published := postprocess.NormSub(est.Counts, float64(n))
+	var fr freqtask.EstimateResult
+	if err := json.Unmarshal(est.Estimate, &fr); err != nil {
+		t.Fatal(err)
+	}
+	published := postprocess.NormSub(fr.Counts, float64(n))
 	var sum float64
 	for _, v := range published {
 		if v < 0 {

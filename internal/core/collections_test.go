@@ -189,13 +189,13 @@ func TestCollectionCountCap(t *testing.T) {
 // broken batch reports the first rejections in detail plus a summary
 // count, never one error line per envelope.
 func TestAddBatchErrorCap(t *testing.T) {
-	agg, err := NewShardedAggregator(MechanismGRR, params(), 2, nil)
+	agg, err := NewFreqShardedAggregator(MechanismGRR, params(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := make([]Envelope, 100)
+	batch := make([]json.RawMessage, 100)
 	for i := range batch {
-		batch[i] = Envelope{Mechanism: "GRR", Value: 999} // all out of domain
+		batch[i] = mustRaw(t, Envelope{Mechanism: "GRR", Value: 999}) // all out of domain
 	}
 	accepted, err := agg.AddBatch(batch)
 	if accepted != 0 || err == nil {
@@ -282,11 +282,11 @@ func TestEstimateUsesEpochCache(t *testing.T) {
 // TestMergedCachedSharesSnapshot verifies the cache at the aggregator
 // level: same epoch → the very same merged oracle is returned.
 func TestMergedCachedSharesSnapshot(t *testing.T) {
-	agg, err := NewShardedAggregator(MechanismGRR, params(), 3, nil)
+	agg, err := NewFreqShardedAggregator(MechanismGRR, params(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := agg.Add(Envelope{Mechanism: "GRR", Value: 1}); err != nil {
+	if err := agg.Add(mustRaw(t, Envelope{Mechanism: "GRR", Value: 1})); err != nil {
 		t.Fatal(err)
 	}
 	m1, err := agg.MergedCached()
@@ -300,7 +300,7 @@ func TestMergedCachedSharesSnapshot(t *testing.T) {
 	if m1 != m2 {
 		t.Fatal("unchanged epoch returned a new merge")
 	}
-	if err := agg.Add(Envelope{Mechanism: "GRR", Value: 2}); err != nil {
+	if err := agg.Add(mustRaw(t, Envelope{Mechanism: "GRR", Value: 2})); err != nil {
 		t.Fatal(err)
 	}
 	m3, err := agg.MergedCached()

@@ -1,8 +1,17 @@
 // Package core is the orchestration layer tying the mechanism packages
-// into a deployable collection pipeline: a mechanism registry, a JSON
-// wire format for privatized reports, client/aggregator halves that
-// speak it, and an HTTP collection service in the style of the
-// deployed systems (clients POST reports; analysts read estimates).
+// into a deployable collection pipeline: a task-generic sharded
+// aggregator, a registry of named collections, checkpoint persistence,
+// and an HTTP collection service in the style of the deployed systems
+// (clients POST privatized reports; analysts read estimates).
+//
+// The layer is written against task.Aggregator (internal/task) only:
+// which task family a collection serves — frequency oracles, numeric
+// means, private sketches — is a configuration tag resolved through
+// the task registry, so new mechanism families plug in as adapter
+// packages without touching this one. The frequency wire format and
+// oracle registry themselves live in internal/task/freqtask; this
+// package re-exports those names because the frequency path predates
+// the task layer and its callers are everywhere.
 //
 // Only privatized data ever crosses the client boundary — the Client
 // type runs the randomization locally and exposes no raw-value
@@ -10,230 +19,64 @@
 package core
 
 import (
-	"encoding/base64"
 	"fmt"
-	"math"
-	"sort"
 
-	"repro/internal/bitvec"
 	"repro/internal/freq"
 	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/freqtask"
 )
 
-// maxSHEReal bounds each component of a network-received SHE report.
-// The Laplace(2/ε) noise a real client adds has tails that die off as
-// e^(-|x|ε/2), so 1e9 is unreachable by eight hundred standard
-// deviations even at tiny ε; the cap exists to keep adversarial
-// reports from overflowing the float64 sums.
-const maxSHEReal = 1e9
-
-// PrivacyParams is the user-facing privacy configuration.
+// PrivacyParams is the user-facing privacy configuration of a
+// frequency survey.
 type PrivacyParams struct {
 	Epsilon float64 `json:"epsilon"`
 	Domain  int     `json:"domain"`
 }
 
-// Mechanism names accepted by the registry.
+// Mechanism names accepted by the frequency oracle registry,
+// re-exported from freqtask.
 const (
-	MechanismGRR = "GRR"
-	MechanismSUE = "SUE"
-	MechanismOUE = "OUE"
-	MechanismSHE = "SHE"
-	MechanismTHE = "THE"
-	MechanismBLH = "BLH"
-	MechanismOLH = "OLH"
-	MechanismHRR = "HRR"
-	MechanismSS  = "SS"
+	MechanismGRR = freqtask.MechanismGRR
+	MechanismSUE = freqtask.MechanismSUE
+	MechanismOUE = freqtask.MechanismOUE
+	MechanismSHE = freqtask.MechanismSHE
+	MechanismTHE = freqtask.MechanismTHE
+	MechanismBLH = freqtask.MechanismBLH
+	MechanismOLH = freqtask.MechanismOLH
+	MechanismHRR = freqtask.MechanismHRR
+	MechanismSS  = freqtask.MechanismSS
 )
 
-// Mechanisms lists the registry names in presentation order.
-func Mechanisms() []string {
-	return []string{
-		MechanismGRR, MechanismSUE, MechanismOUE, MechanismSHE,
-		MechanismTHE, MechanismBLH, MechanismOLH, MechanismHRR,
-		MechanismSS,
-	}
-}
+// Mechanisms lists the frequency registry names in presentation order.
+func Mechanisms() []string { return freqtask.Mechanisms() }
+
+// Envelope is the JSON wire format of one privatized frequency report.
+type Envelope = freqtask.Envelope
 
 // NewOracle builds a frequency oracle by registry name. A nil source
 // selects crypto/rand.
 func NewOracle(name string, p PrivacyParams, src ldprand.Source) (freq.Oracle, error) {
-	if p.Epsilon <= 0 {
-		return nil, fmt.Errorf("core: epsilon must be positive, got %v", p.Epsilon)
-	}
-	if p.Domain < 2 {
-		return nil, fmt.Errorf("core: domain must be at least 2, got %d", p.Domain)
-	}
-	switch name {
-	case MechanismGRR:
-		return freq.NewGRR(p.Epsilon, p.Domain, src), nil
-	case MechanismSUE:
-		return freq.NewSUE(p.Epsilon, p.Domain, src), nil
-	case MechanismOUE:
-		return freq.NewOUE(p.Epsilon, p.Domain, src), nil
-	case MechanismSHE:
-		return freq.NewSHE(p.Epsilon, p.Domain, src), nil
-	case MechanismTHE:
-		return freq.NewTHE(p.Epsilon, p.Domain, src), nil
-	case MechanismBLH:
-		return freq.NewBLH(p.Epsilon, p.Domain, src), nil
-	case MechanismOLH:
-		return freq.NewOLH(p.Epsilon, p.Domain, src), nil
-	case MechanismHRR:
-		return freq.NewHRR(p.Epsilon, p.Domain, src), nil
-	case MechanismSS:
-		return freq.NewSS(p.Epsilon, p.Domain, src), nil
-	default:
-		names := Mechanisms()
-		sort.Strings(names)
-		return nil, fmt.Errorf("core: unknown mechanism %q (have %v)", name, names)
-	}
-}
-
-// Envelope is the JSON wire format of one privatized report. Exactly
-// the fields relevant to the mechanism are set; everything a server
-// receives has already been randomized on the client.
-type Envelope struct {
-	Mechanism string    `json:"mechanism"`
-	Value     int       `json:"value,omitempty"`  // GRR report / LH bucket / HRR index
-	Seed      uint64    `json:"seed,omitempty"`   // LH hash seed
-	Bits      string    `json:"bits,omitempty"`   // UE/THE bit vector, base64
-	Reals     []float64 `json:"reals,omitempty"`  // SHE noisy vector
-	Sign      int8      `json:"sign,omitempty"`   // HRR coefficient sign
-	Values    []int     `json:"values,omitempty"` // SS subset report
+	return freqtask.NewOracle(name, p.Epsilon, p.Domain, src)
 }
 
 // Privatize runs the client half of the oracle on value v and wraps
 // the report in an Envelope.
-func Privatize(o freq.Oracle, v int) (Envelope, error) {
-	switch m := o.(type) {
-	case *freq.GRR:
-		return Envelope{Mechanism: m.Name(), Value: m.Privatize(v)}, nil
-	case freq.BinaryRR:
-		return Envelope{Mechanism: m.Name(), Value: m.Privatize(v)}, nil
-	case *freq.UE:
-		bits, err := m.Privatize(v).MarshalBinary()
-		if err != nil {
-			return Envelope{}, err
-		}
-		return Envelope{Mechanism: m.Name(), Bits: base64.StdEncoding.EncodeToString(bits)}, nil
-	case *freq.SHE:
-		return Envelope{Mechanism: m.Name(), Reals: m.Privatize(v)}, nil
-	case *freq.THE:
-		bits, err := m.Privatize(v).MarshalBinary()
-		if err != nil {
-			return Envelope{}, err
-		}
-		return Envelope{Mechanism: m.Name(), Bits: base64.StdEncoding.EncodeToString(bits)}, nil
-	case *freq.LH:
-		r := m.Privatize(v)
-		return Envelope{Mechanism: m.Name(), Seed: r.Seed, Value: r.Bucket}, nil
-	case *freq.HRR:
-		r := m.Privatize(v)
-		return Envelope{Mechanism: m.Name(), Value: r.Index, Sign: r.Sign}, nil
-	case *freq.SS:
-		return Envelope{Mechanism: m.Name(), Values: m.Privatize(v)}, nil
-	default:
-		return Envelope{}, fmt.Errorf("core: unsupported oracle type %T", o)
-	}
+func Privatize(o freq.Oracle, v int) (Envelope, error) { return freqtask.Privatize(o, v) }
+
+// Aggregate folds an Envelope into the matching oracle, rejecting
+// malformed payloads (they arrive from the network).
+func Aggregate(o freq.Oracle, e Envelope) error { return freqtask.Aggregate(o, e) }
+
+// FreqTaskConfig is the task configuration of a frequency survey, the
+// bridge from the legacy (mechanism, ε, domain) surface to the
+// task-generic stack.
+func FreqTaskConfig(mechanism string, p PrivacyParams) task.Config {
+	return task.Config{Task: task.TypeFreq, Mechanism: mechanism, Epsilon: p.Epsilon, Domain: p.Domain}
 }
 
-// Aggregate folds an Envelope into the matching oracle. The envelope's
-// mechanism name must match the oracle's, and malformed payloads are
-// rejected rather than panicking: they arrive from the network.
-func Aggregate(o freq.Oracle, e Envelope) error {
-	if e.Mechanism != o.Name() {
-		return fmt.Errorf("core: envelope mechanism %q does not match oracle %q", e.Mechanism, o.Name())
-	}
-	switch m := o.(type) {
-	case *freq.GRR:
-		return aggregateGRR(m, e)
-	case freq.BinaryRR:
-		return aggregateGRR(m.GRR, e)
-	case *freq.UE:
-		v, err := decodeBits(e.Bits, m.Domain())
-		if err != nil {
-			return err
-		}
-		m.Aggregate(v)
-	case *freq.SHE:
-		if len(e.Reals) != m.Domain() {
-			return fmt.Errorf("core: SHE vector length %d, want %d", len(e.Reals), m.Domain())
-		}
-		// A legitimate SHE component is one-hot plus Laplace(2/ε) noise
-		// — astronomically unlikely to stray past single digits, let
-		// alone maxSHEReal. Unbounded components would let a client
-		// push the sums to ±Inf (two 1.7e308 reports suffice), which
-		// poisons the aggregate and makes its JSON state unmarshalable,
-		// wedging every later checkpoint of the collection.
-		for _, x := range e.Reals {
-			if math.IsNaN(x) || x > maxSHEReal || x < -maxSHEReal {
-				return fmt.Errorf("core: SHE component %v outside [-%g, %g]", x, maxSHEReal, maxSHEReal)
-			}
-		}
-		m.Aggregate(e.Reals)
-	case *freq.THE:
-		v, err := decodeBits(e.Bits, m.Domain())
-		if err != nil {
-			return err
-		}
-		m.Aggregate(v)
-	case *freq.LH:
-		if e.Value < 0 || e.Value >= m.G() {
-			return fmt.Errorf("core: LH bucket %d out of range [0,%d)", e.Value, m.G())
-		}
-		m.Aggregate(freq.LHReport{Seed: e.Seed, Bucket: e.Value})
-	case *freq.HRR:
-		if e.Value < 0 || e.Value >= m.PaddedDomain() {
-			return fmt.Errorf("core: HRR index %d out of range", e.Value)
-		}
-		if e.Sign != 1 && e.Sign != -1 {
-			return fmt.Errorf("core: HRR sign %d must be ±1", e.Sign)
-		}
-		m.Aggregate(freq.HRRReport{Index: e.Value, Sign: e.Sign})
-	case *freq.SS:
-		if len(e.Values) != m.K() {
-			return fmt.Errorf("core: SS subset size %d, want %d", len(e.Values), m.K())
-		}
-		seen := make(map[int]bool, len(e.Values))
-		for _, u := range e.Values {
-			if u < 0 || u >= m.Domain() || seen[u] {
-				return fmt.Errorf("core: SS subset value %d invalid or duplicated", u)
-			}
-			seen[u] = true
-		}
-		m.Aggregate(e.Values)
-	default:
-		return fmt.Errorf("core: unsupported oracle type %T", o)
-	}
-	return nil
-}
-
-func aggregateGRR(m *freq.GRR, e Envelope) error {
-	if e.Value < 0 || e.Value >= m.Domain() {
-		return fmt.Errorf("core: GRR value %d out of domain [0,%d)", e.Value, m.Domain())
-	}
-	m.Aggregate(e.Value)
-	return nil
-}
-
-func decodeBits(s string, wantLen int) (*bitvec.Vector, error) {
-	raw, err := base64.StdEncoding.DecodeString(s)
-	if err != nil {
-		return nil, fmt.Errorf("core: bad bits encoding: %w", err)
-	}
-	var v bitvec.Vector
-	if err := v.UnmarshalBinary(raw); err != nil {
-		return nil, err
-	}
-	if v.Len() != wantLen {
-		return nil, fmt.Errorf("core: bit vector length %d, want %d", v.Len(), wantLen)
-	}
-	return &v, nil
-}
-
-// Client is the user-side handle: it owns a local oracle instance used
-// only for its client half.
+// Client is the user-side handle of a frequency survey: it owns a
+// local oracle instance used only for its client half.
 type Client struct {
 	oracle freq.Oracle
 	params PrivacyParams

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/ldprand"
+	"repro/internal/task/freqtask"
 )
 
 func params() PrivacyParams { return PrivacyParams{Epsilon: 2, Domain: 8} }
@@ -186,13 +187,20 @@ func TestServiceEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
 		t.Fatal(err)
 	}
-	if est.Reports != n || est.Mechanism != "GRR" || len(est.Counts) != 8 {
+	if est.Reports != n || est.Mechanism != "GRR" || est.Task != "freq" {
 		t.Fatalf("estimate response %+v", est)
+	}
+	var fr freqtask.EstimateResult
+	if err := json.Unmarshal(est.Estimate, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Counts) != 8 || fr.Domain != 8 {
+		t.Fatalf("estimate payload %+v", fr)
 	}
 	// Unused values should estimate near zero, used ones near truth.
 	for v := 0; v < 8; v++ {
-		if math.Abs(est.Counts[v]-truth[v]) > 0.15*n {
-			t.Errorf("value %d: estimate %.0f truth %.0f", v, est.Counts[v], truth[v])
+		if math.Abs(fr.Counts[v]-truth[v]) > 0.15*n {
+			t.Errorf("value %d: estimate %.0f truth %.0f", v, fr.Counts[v], truth[v])
 		}
 	}
 

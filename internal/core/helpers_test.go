@@ -1,0 +1,45 @@
+package core
+
+// Shared helpers for the core test suite: marshaling typed freq
+// envelopes into the raw JSON the task-generic aggregator ingests, and
+// reading frequency counts back out of a task aggregator.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/task"
+	"repro/internal/task/freqtask"
+)
+
+// mustRaw marshals any value (an Envelope, a task envelope struct)
+// into the raw JSON report form the aggregation stack ingests.
+func mustRaw(t testing.TB, v any) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// rawEnvs marshals a slice of freq envelopes into raw JSON reports.
+func rawEnvs(t testing.TB, envs []Envelope) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, len(envs))
+	for i := range envs {
+		out[i] = mustRaw(t, envs[i])
+	}
+	return out
+}
+
+// freqCounts extracts the debiased count estimates from a frequency
+// task aggregator.
+func freqCounts(t testing.TB, a task.Aggregator) []float64 {
+	t.Helper()
+	fa, ok := a.(*freqtask.Aggregator)
+	if !ok {
+		t.Fatalf("aggregator is %T, want *freqtask.Aggregator", a)
+	}
+	return fa.Oracle().EstimateCounts()
+}

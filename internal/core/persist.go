@@ -22,13 +22,29 @@ import (
 // anything else in the directory is ignored on load.
 const snapshotExt = ".json"
 
+// SnapshotVersion is the current checkpoint envelope version. Version
+// history:
+//
+//	0 (absent) — pre-task checkpoints: the config carries no task tag
+//	             (all collections were frequency surveys) and the state
+//	             blob is a freq oracle state. Still restored: the
+//	             missing tag resolves to the freq task, whose adapter
+//	             state format is the oracle state byte for byte.
+//	2          — task-tagged checkpoints: the config names a task type
+//	             and the state blob is that task's adapter state.
+//
+// Versions above the current one are refused at load: a newer build's
+// snapshot may carry semantics this build would silently misread.
+const SnapshotVersion = 2
+
 // CollectionSnapshot is the on-disk format of one collection: its
-// configuration (enough to rebuild the aggregator) and the serialized
-// merged oracle state (enough to rebuild the counts).
+// configuration (enough to rebuild the aggregator, task tag included)
+// and the serialized merged task state (enough to rebuild the counts).
 type CollectionSnapshot struct {
-	Name   string           `json:"name"`
-	Config CollectionConfig `json:"config"`
-	State  json.RawMessage  `json:"state"`
+	Version int              `json:"version,omitempty"`
+	Name    string           `json:"name"`
+	Config  CollectionConfig `json:"config"`
+	State   json.RawMessage  `json:"state"`
 }
 
 // Store persists collection snapshots in one directory, one file per
@@ -154,7 +170,7 @@ func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
 	if err != nil {
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
-	blob, err := json.Marshal(CollectionSnapshot{Name: c.name, Config: c.cfg, State: state})
+	blob, err := json.Marshal(CollectionSnapshot{Version: SnapshotVersion, Name: c.name, Config: c.cfg, State: state})
 	if err != nil {
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
@@ -284,6 +300,9 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 		}
 		if snap.Name != name {
 			return restored, fmt.Errorf("core: snapshot file %q names collection %q", e.Name(), snap.Name)
+		}
+		if snap.Version > SnapshotVersion {
+			return restored, fmt.Errorf("core: snapshot %q has version %d, newer than this build's %d", name, snap.Version, SnapshotVersion)
 		}
 		c, err := reg.Create(name, snap.Config)
 		if errors.Is(err, ErrCollectionExists) {

@@ -33,7 +33,7 @@ func fill(t *testing.T, c *Collection, seed uint64, n int) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Aggregator().Add(env); err != nil {
+		if err := c.Aggregator().Add(mustRaw(t, env)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -45,7 +45,7 @@ func counts(t *testing.T, c *Collection) []float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m.EstimateCounts()
+	return freqCounts(t, m)
 }
 
 // TestCheckpointRestartCycle is the acceptance-criteria test:
@@ -59,7 +59,7 @@ func TestCheckpointRestartCycle(t *testing.T) {
 	}
 	reg := NewCollectionRegistry()
 	for i, mech := range Mechanisms() {
-		cfg := CollectionConfig{Mechanism: mech, Epsilon: 1.5, Domain: 12, Shards: 3}
+		cfg := FreqCollectionConfig(mech, PrivacyParams{Epsilon: 1.5, Domain: 12}, 3)
 		c, err := reg.Create("survey-"+mech, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -453,7 +453,7 @@ func TestServerRestartOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := NewCollectionRegistry()
-	if _, err := reg.Create(DefaultCollection, CollectionConfig{Mechanism: MechanismOLH, Epsilon: 2, Domain: 8, Shards: 2}); err != nil {
+	if _, err := reg.Create(DefaultCollection, FreqCollectionConfig(MechanismOLH, PrivacyParams{Epsilon: 2, Domain: 8}, 2)); err != nil {
 		t.Fatal(err)
 	}
 	svc := NewMultiService(reg, store)

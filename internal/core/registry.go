@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/task"
 )
 
 // ErrCollectionExists is wrapped by Create when the name is already
@@ -24,18 +26,26 @@ const DefaultCollection = "default"
 const maxCollectionName = 128
 
 // CollectionConfig is the per-collection survey configuration: which
-// mechanism privatizes reports, under what privacy parameters, and how
-// many aggregation shards to spread ingestion over.
+// task family the collection serves (task.Config, embedded — its Task
+// tag is empty for pre-task configs, meaning "freq"), which mechanism
+// privatizes reports under what parameters, and how many aggregation
+// shards to spread ingestion over. The embedded fields marshal flat,
+// so configs written before the task layer existed ({"mechanism":...,
+// "epsilon":..., "domain":..., "shards":...}) parse unchanged.
 type CollectionConfig struct {
-	Mechanism string  `json:"mechanism"`
-	Epsilon   float64 `json:"epsilon"`
-	Domain    int     `json:"domain"`
-	Shards    int     `json:"shards,omitempty"` // 0 = one per core
+	task.Config
+	Shards int `json:"shards,omitempty"` // 0 = one per core
 }
 
-// Params returns the privacy half of the configuration.
+// Params returns the frequency-style privacy half of the configuration.
 func (c CollectionConfig) Params() PrivacyParams {
 	return PrivacyParams{Epsilon: c.Epsilon, Domain: c.Domain}
+}
+
+// FreqCollectionConfig builds the configuration of a frequency survey,
+// the shape every collection had before the task layer.
+func FreqCollectionConfig(mechanism string, p PrivacyParams, shards int) CollectionConfig {
+	return CollectionConfig{Config: FreqTaskConfig(mechanism, p), Shards: shards}
 }
 
 // Collection is one named survey: an independent sharded aggregator
@@ -112,6 +122,12 @@ func (r *CollectionRegistry) Create(name string, cfg CollectionConfig) (*Collect
 	if err := ValidateCollectionName(name); err != nil {
 		return nil, err
 	}
+	// Normalize the task tag: configs from pre-task snapshots and
+	// terse create bodies leave it empty (meaning freq). Storing the
+	// resolved name means re-checkpointed snapshots are explicitly
+	// tagged and config comparisons (ldpd's restored-vs-flags check)
+	// don't see a phantom ""≠"freq" difference.
+	cfg.Task = cfg.Type()
 	// Fast-path duplicate check before the aggregator is built, so a
 	// rejected create never pays the shards×domain allocation; the
 	// authoritative re-check below runs under the write lock.
@@ -121,7 +137,7 @@ func (r *CollectionRegistry) Create(name string, cfg CollectionConfig) (*Collect
 	if exists {
 		return nil, duplicateNameError(name, taken)
 	}
-	agg, err := NewShardedAggregator(cfg.Mechanism, cfg.Params(), cfg.Shards, nil)
+	agg, err := NewShardedAggregator(cfg.Config, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}

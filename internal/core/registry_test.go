@@ -4,10 +4,12 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/task"
 )
 
 func testCfg() CollectionConfig {
-	return CollectionConfig{Mechanism: MechanismGRR, Epsilon: 2, Domain: 8, Shards: 2}
+	return FreqCollectionConfig(MechanismGRR, PrivacyParams{Epsilon: 2, Domain: 8}, 2)
 }
 
 func TestRegistryCreateGetDelete(t *testing.T) {
@@ -76,9 +78,10 @@ func TestValidateCollectionName(t *testing.T) {
 func TestRegistryCreateRejectsBadConfig(t *testing.T) {
 	reg := NewCollectionRegistry()
 	bad := []CollectionConfig{
-		{Mechanism: "NOPE", Epsilon: 1, Domain: 8},
-		{Mechanism: MechanismGRR, Epsilon: 0, Domain: 8},
-		{Mechanism: MechanismGRR, Epsilon: 1, Domain: 1},
+		FreqCollectionConfig("NOPE", PrivacyParams{Epsilon: 1, Domain: 8}, 0),
+		FreqCollectionConfig(MechanismGRR, PrivacyParams{Epsilon: 0, Domain: 8}, 0),
+		FreqCollectionConfig(MechanismGRR, PrivacyParams{Epsilon: 1, Domain: 1}, 0),
+		{Config: task.Config{Task: "nope-task", Mechanism: MechanismGRR, Epsilon: 1, Domain: 8}},
 	}
 	for _, cfg := range bad {
 		if _, err := reg.Create("s", cfg); err == nil {

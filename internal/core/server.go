@@ -9,13 +9,15 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+
+	"repro/internal/task"
 )
 
 // Request body limits: one envelope never legitimately approaches a
 // mebibyte, while a batch of the largest envelopes (SHE at domain
-// ~4096) needs real headroom; both are tight enough that a
-// misbehaving client cannot balloon the decoder. Collection-management
-// bodies are a handful of scalar fields.
+// ~4096, CMS at width ~4096) needs real headroom; both are tight
+// enough that a misbehaving client cannot balloon the decoder.
+// Collection-management bodies are a handful of scalar fields.
 const (
 	maxReportBytes  = 1 << 20
 	maxBatchBytes   = 8 << 20
@@ -24,13 +26,16 @@ const (
 
 // Service is an HTTP aggregation endpoint serving many concurrent
 // surveys: a registry of named collections, each an independent
-// ShardedAggregator. Clients POST Envelope JSON to
-// /collections/{name}/report (or a JSON array to .../report/batch),
-// analysts GET .../estimate for the debiased counts and .../status for
-// collection metadata; POST/GET /collections and DELETE
-// /collections/{name} manage the registry. The flat pre-collections
-// routes (/report, /report/batch, /estimate, /status) stay wired to
-// the "default" collection, so existing clients are untouched.
+// ShardedAggregator over one task family (frequency oracle, numeric
+// mean, private sketch — whatever the task registry knows). Clients
+// POST task-defined report envelopes to /collections/{name}/report (or
+// a JSON array of them to .../report/batch), analysts GET .../estimate
+// for the task-defined estimate (debiased counts, mean ± CI, per-item
+// sketch counts) and .../status for collection metadata; POST/GET
+// /collections and DELETE /collections/{name} manage the registry. The
+// flat pre-collections routes (/report, /report/batch, /estimate,
+// /status) stay wired to the "default" collection, so existing clients
+// are untouched.
 //
 // Estimates are served from a per-collection merged snapshot that is
 // recomputed only when the ingestion epoch has advanced, so analyst
@@ -43,20 +48,19 @@ type Service struct {
 	store *Store // nil = memory-only
 }
 
-// NewService returns a single-survey collection service for the named
-// mechanism with one aggregation shard per core (GOMAXPROCS).
+// NewService returns a single-survey frequency collection service for
+// the named mechanism with one aggregation shard per core (GOMAXPROCS).
 func NewService(mechanism string, p PrivacyParams) (*Service, error) {
 	return NewServiceSharded(mechanism, p, 0)
 }
 
-// NewServiceSharded returns a single-survey collection service with an
-// explicit shard count; shards <= 0 selects GOMAXPROCS. The survey
-// becomes the default collection, reachable through both the flat and
-// the /collections routes.
+// NewServiceSharded returns a single-survey frequency collection
+// service with an explicit shard count; shards <= 0 selects GOMAXPROCS.
+// The survey becomes the default collection, reachable through both the
+// flat and the /collections routes.
 func NewServiceSharded(mechanism string, p PrivacyParams, shards int) (*Service, error) {
 	reg := NewCollectionRegistry()
-	cfg := CollectionConfig{Mechanism: mechanism, Epsilon: p.Epsilon, Domain: p.Domain, Shards: shards}
-	if _, err := reg.Create(DefaultCollection, cfg); err != nil {
+	if _, err := reg.Create(DefaultCollection, FreqCollectionConfig(mechanism, p, shards)); err != nil {
 		return nil, err
 	}
 	return NewMultiService(reg, nil), nil
@@ -160,11 +164,13 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any, what
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collection) {
-	var env Envelope
-	if !decodeBody(w, r, maxReportBytes, &env, "report") {
+	// The report is decoded only to a raw JSON value here — the
+	// collection's task owns the envelope schema and validates it.
+	var raw json.RawMessage
+	if !decodeBody(w, r, maxReportBytes, &raw, "report") {
 		return
 	}
-	if err := c.agg.Add(env); err != nil {
+	if err := c.agg.Add(raw); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -183,7 +189,7 @@ type BatchResponse struct {
 }
 
 func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *Collection) {
-	var batch []Envelope
+	var batch []json.RawMessage
 	if !decodeBody(w, r, maxBatchBytes, &batch, "batch") {
 		return
 	}
@@ -197,15 +203,17 @@ func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *C
 	writeJSON(w, status, resp)
 }
 
-// EstimateResponse is the JSON body of /estimate.
+// EstimateResponse is the JSON body of /estimate: collection metadata
+// plus the task-defined estimate payload (frequency counts, mean ± CI,
+// per-item sketch counts — see each task package's EstimateResult).
 type EstimateResponse struct {
-	Collection string    `json:"collection"`
-	Mechanism  string    `json:"mechanism"`
-	Epsilon    float64   `json:"epsilon"`
-	Domain     int       `json:"domain"`
-	Shards     int       `json:"shards"`
-	Reports    int       `json:"reports"`
-	Counts     []float64 `json:"counts"`
+	Collection string          `json:"collection"`
+	Task       string          `json:"task"`
+	Mechanism  string          `json:"mechanism"`
+	Epsilon    float64         `json:"epsilon"`
+	Shards     int             `json:"shards"`
+	Reports    int             `json:"reports"`
+	Estimate   json.RawMessage `json:"estimate"`
 }
 
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request, c *Collection) {
@@ -214,24 +222,36 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request, c *Coll
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	est, err := merged.Estimate(r.URL.Query())
+	if err != nil {
+		// Task estimate errors are query errors (bad ?top=, ...): the
+		// analyst can fix the request.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Collection: c.name,
-		Mechanism:  merged.Name(),
+		Task:       c.agg.TaskType(),
+		Mechanism:  c.cfg.Mechanism,
 		Epsilon:    c.cfg.Epsilon,
-		Domain:     c.cfg.Domain,
 		Shards:     c.agg.Shards(),
 		Reports:    merged.Collected(),
-		Counts:     merged.EstimateCounts(),
+		Estimate:   est,
 	})
 }
 
 // StatusResponse is the JSON body of /status and one element of the
-// GET /collections listing.
+// GET /collections listing. The task-specific sizing fields carry
+// whichever ones the collection's task defines.
 type StatusResponse struct {
 	Collection string  `json:"collection"`
+	Task       string  `json:"task"`
 	Mechanism  string  `json:"mechanism"`
 	Epsilon    float64 `json:"epsilon"`
-	Domain     int     `json:"domain"`
+	Domain     int     `json:"domain,omitempty"`
+	Dim        int     `json:"dim,omitempty"`
+	Width      int     `json:"width,omitempty"`
+	Hashes     int     `json:"hashes,omitempty"`
 	Shards     int     `json:"shards"`
 	Reports    int     `json:"reports"`
 	ReportBits int     `json:"report_bits"`
@@ -240,9 +260,13 @@ type StatusResponse struct {
 func statusFor(c *Collection) StatusResponse {
 	return StatusResponse{
 		Collection: c.name,
-		Mechanism:  c.agg.Mechanism(),
+		Task:       c.agg.TaskType(),
+		Mechanism:  c.cfg.Mechanism,
 		Epsilon:    c.cfg.Epsilon,
 		Domain:     c.cfg.Domain,
+		Dim:        c.cfg.Dim,
+		Width:      c.cfg.Width,
+		Hashes:     c.cfg.Hashes,
 		Shards:     c.agg.Shards(),
 		Reports:    c.agg.Collected(),
 		ReportBits: c.agg.ReportBits(),
@@ -250,11 +274,15 @@ func statusFor(c *Collection) StatusResponse {
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, c *Collection) {
-	// Metadata only — no need for the full merge /estimate performs.
+	// Metadata only — no need for the full merge /estimate performs,
+	// and Collected reads an atomic counter, so status polling never
+	// touches a shard lock.
 	writeJSON(w, http.StatusOK, statusFor(c))
 }
 
-// CreateCollectionRequest is the JSON body of POST /collections.
+// CreateCollectionRequest is the JSON body of POST /collections. The
+// embedded CollectionConfig carries the task tag ("freq" when absent)
+// and the task-specific parameters.
 type CreateCollectionRequest struct {
 	Name string `json:"name"`
 	CollectionConfig
@@ -262,15 +290,18 @@ type CreateCollectionRequest struct {
 
 // Remote-surface caps on collection configuration. ldpd's CLI flags
 // are operator-trusted, but POST /collections is not: an unbounded
-// domain or shard count would let any client allocate domain-sized
-// vectors per shard until the process dies. Caps bound three axes —
-// per-parameter sanity, per-collection tally cells (domain × shards,
-// ~8 bytes each), and total registry size — so even a client looping
-// maximal creates cannot push the server past a bounded footprint.
-// The limits sit far above every configuration in the tutorial's
-// experiments.
+// domain, width or shard count would let any client allocate
+// accumulator memory per shard until the process dies. Caps bound
+// three axes — per-parameter sanity, per-collection tally cells
+// (accumulator size × shards, ~8 bytes each), and total registry size
+// — so even a client looping maximal creates cannot push the server
+// past a bounded footprint. The limits sit far above every
+// configuration in the tutorial's experiments.
 const (
 	maxCreateDomain  = 1 << 18
+	maxCreateDim     = 1 << 12
+	maxCreateWidth   = 1 << 16
+	maxCreateHashes  = 1 << 10
 	maxCreateShards  = 64
 	maxCreateEpsilon = 32
 	maxCreateCells   = 1 << 20
@@ -278,10 +309,24 @@ const (
 )
 
 // validateCreateConfig bounds a network-supplied configuration before
-// any aggregator memory is allocated for it.
+// any aggregator memory is allocated for it. The per-shard cell count
+// is the task's accumulator size: the categorical domain for freq, the
+// vector dimension for mean, the k×m counter grid for sketch.
 func validateCreateConfig(cfg CollectionConfig) error {
+	if !task.Registered(cfg.Type()) {
+		return fmt.Errorf("core: unknown task type %q (registered: %v)", cfg.Type(), task.Types())
+	}
 	if cfg.Domain > maxCreateDomain {
 		return fmt.Errorf("core: domain %d exceeds the API limit %d", cfg.Domain, maxCreateDomain)
+	}
+	if cfg.Dim > maxCreateDim {
+		return fmt.Errorf("core: dim %d exceeds the API limit %d", cfg.Dim, maxCreateDim)
+	}
+	if cfg.Width > maxCreateWidth {
+		return fmt.Errorf("core: width %d exceeds the API limit %d", cfg.Width, maxCreateWidth)
+	}
+	if cfg.Hashes > maxCreateHashes {
+		return fmt.Errorf("core: hashes %d exceeds the API limit %d", cfg.Hashes, maxCreateHashes)
 	}
 	if cfg.Shards > maxCreateShards {
 		return fmt.Errorf("core: shards %d exceeds the API limit %d", cfg.Shards, maxCreateShards)
@@ -293,8 +338,15 @@ func validateCreateConfig(cfg CollectionConfig) error {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	if cells := cfg.Domain * shards; cells > maxCreateCells {
-		return fmt.Errorf("core: domain × shards = %d tally cells exceeds the API limit %d", cells, maxCreateCells)
+	perShard := cfg.Domain
+	switch cfg.Type() {
+	case task.TypeMean:
+		perShard = cfg.Dim
+	case task.TypeSketch:
+		perShard = cfg.Width * cfg.Hashes
+	}
+	if cells := perShard * shards; cells > maxCreateCells {
+		return fmt.Errorf("core: accumulator size × shards = %d tally cells exceeds the API limit %d", cells, maxCreateCells)
 	}
 	return nil
 }

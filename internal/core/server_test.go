@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/ldprand"
+	"repro/internal/task/freqtask"
 )
 
 func newTestServer(t *testing.T, mechanism string, shards int) (*Service, *httptest.Server) {
@@ -96,8 +97,12 @@ func TestHandleReportBatchHappyPath(t *testing.T) {
 	if err := json.NewDecoder(est.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Reports != len(envs) || len(er.Counts) != 8 || er.Shards != 3 {
-		t.Fatalf("estimate response %+v", er)
+	var fr freqtask.EstimateResult
+	if err := json.Unmarshal(er.Estimate, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if er.Reports != len(envs) || len(fr.Counts) != 8 || er.Shards != 3 {
+		t.Fatalf("estimate response %+v / %+v", er, fr)
 	}
 }
 
@@ -296,7 +301,7 @@ func TestBatchAndSingleReportsAgree(t *testing.T) {
 	if mSingle.Collected() != mBatch.Collected() {
 		t.Fatalf("collected %d vs %d", mSingle.Collected(), mBatch.Collected())
 	}
-	a, b := mSingle.EstimateCounts(), mBatch.EstimateCounts()
+	a, b := freqCounts(t, mSingle), freqCounts(t, mBatch)
 	for v := range a {
 		if a[v] != b[v] {
 			t.Errorf("value %d: single %v batch %v", v, a[v], b[v])

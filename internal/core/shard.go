@@ -1,120 +1,177 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/freq"
 	"repro/internal/hashutil"
-	"repro/internal/ldprand"
+	"repro/internal/task"
 )
 
-// ShardedAggregator spreads privatized envelopes across N independent
-// per-shard oracles behind striped locks, so ingestion scales with
-// cores instead of serializing on one mutex. Correctness rests on the
-// mergeability of every frequency oracle in the registry: all the
-// accumulators are linear (count or sum vectors), so any shard can
-// absorb any envelope and a Merge of the shards is exactly the state
-// a single oracle would have reached aggregating every report itself.
+// ShardedAggregator spreads privatized report envelopes across N
+// independent per-shard task aggregators behind striped locks, so
+// ingestion scales with cores instead of serializing on one mutex.
+// Correctness rests on the mergeability every task.Aggregator
+// guarantees: the accumulators are linear (count or sum vectors), so
+// any shard can absorb any envelope and a Merge of the shards is
+// exactly the state a single aggregator would have reached aggregating
+// every report itself.
 //
 // Envelopes are hash-routed by payload fingerprint, with a rotating
 // stripe mixed in so that repeats of one hot payload (common for GRR
 // under large ε, where most clients report the true mode) still spread
 // across shards instead of serializing on one lock.
 type ShardedAggregator struct {
-	mechanism string
-	params    PrivacyParams
-	shards    []*shard
-	seq       atomic.Uint64 // rotating stripe for repeated payloads
+	cfg    task.Config
+	shards []*shard
+	seq    atomic.Uint64 // rotating stripe for repeated payloads
+
+	// reportBits is the task's per-report payload size, a constant of
+	// the configuration captured at construction so ReportBits (which
+	// /status and the collection listing read) never touches a shard
+	// lock.
+	reportBits int
+
+	// prepare is the shard-0 aggregator's task.Preparer half when the
+	// task implements it: parsing and payload decoding — the expensive
+	// part of ingestion — then run OUTSIDE the shard locks, and only
+	// the fold runs under them. Prepare reads nothing but immutable
+	// configuration (the task.Preparer contract), so calling it
+	// without synchronization is safe, and a prepared value folds into
+	// any shard of the same configuration. nil when the task only
+	// implements plain Add.
+	prepare func(json.RawMessage) (any, error)
+
+	// collected counts accepted reports across all shards, maintained
+	// atomically so Collected — which backs every /status hit and the
+	// collection listing — never takes the shard locks. It is advanced
+	// after the owning shard lock is released, so a reader can trail an
+	// in-flight Add by one report, never lead it; once ingestion
+	// quiesces it equals the lock-walk sum exactly (collectedWalk pins
+	// this in tests).
+	collected atomic.Int64
 
 	// epoch counts state mutations (accepted reports, resets,
 	// restores). MergedCached compares it against the epoch of the
-	// last merge to decide whether the cached merged oracle is still
-	// exact, so an idle collection answers estimates without
+	// last merge to decide whether the cached merged aggregator is
+	// still exact, so an idle collection answers estimates without
 	// re-merging every shard.
 	epoch      atomic.Uint64
 	mergeCount atomic.Uint64 // full merges performed, for tests/observability
 
 	cacheMu     sync.Mutex
-	cached      freq.Oracle // merged snapshot, read-only once published
+	cached      task.Aggregator // merged snapshot, read-only once published
 	cachedEpoch uint64
 }
 
-// shard pairs one oracle with its stripe lock. Padding would buy a few
-// percent by avoiding false sharing of the mutexes, but the oracle hot
-// paths dominate, so we keep the struct plain.
+// shard pairs one task aggregator with its stripe lock. Padding would
+// buy a few percent by avoiding false sharing of the mutexes, but the
+// aggregation hot paths dominate, so we keep the struct plain.
 type shard struct {
-	mu     sync.Mutex
-	oracle freq.Oracle
+	mu  sync.Mutex
+	agg task.Aggregator
 }
 
-// NewShardedAggregator builds a sharded aggregator for the named
-// mechanism. shards <= 0 selects GOMAXPROCS. The optional sources give
-// each shard deterministic randomness for tests; production callers
-// pass nil and get crypto/rand. (Aggregation itself never draws
-// randomness — the sources only matter if a shard oracle is also used
-// to privatize.)
-func NewShardedAggregator(mechanism string, p PrivacyParams, shards int, srcs []ldprand.Source) (*ShardedAggregator, error) {
+// NewShardedAggregator builds a sharded aggregator for the task
+// configuration (cfg.Type() picks the adapter from the task registry).
+// shards <= 0 selects GOMAXPROCS.
+func NewShardedAggregator(cfg task.Config, shards int) (*ShardedAggregator, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	a := &ShardedAggregator{
-		mechanism: mechanism,
-		params:    p,
-		shards:    make([]*shard, shards),
+		cfg:    cfg,
+		shards: make([]*shard, shards),
 	}
 	for i := range a.shards {
-		var src ldprand.Source
-		if i < len(srcs) {
-			src = srcs[i]
-		}
-		o, err := NewOracle(mechanism, p, src)
+		agg, err := task.New(cfg)
 		if err != nil {
 			return nil, err
 		}
-		a.shards[i] = &shard{oracle: o}
+		a.shards[i] = &shard{agg: agg}
+	}
+	a.reportBits = a.shards[0].agg.ReportBits()
+	if p, ok := a.shards[0].agg.(task.Preparer); ok {
+		a.prepare = p.Prepare
 	}
 	return a, nil
 }
 
-// Mechanism returns the registry name the aggregator was built with.
-func (a *ShardedAggregator) Mechanism() string { return a.mechanism }
+// NewFreqShardedAggregator builds a sharded frequency aggregator from
+// the legacy (mechanism, params) surface.
+func NewFreqShardedAggregator(mechanism string, p PrivacyParams, shards int) (*ShardedAggregator, error) {
+	return NewShardedAggregator(FreqTaskConfig(mechanism, p), shards)
+}
 
-// Params returns the privacy parameters in use.
-func (a *ShardedAggregator) Params() PrivacyParams { return a.params }
+// TaskType returns the task type name the aggregator serves.
+func (a *ShardedAggregator) TaskType() string { return a.cfg.Type() }
+
+// Config returns the task configuration the aggregator was built with.
+func (a *ShardedAggregator) Config() task.Config { return a.cfg }
+
+// Mechanism returns the configured mechanism name within the task
+// family (an oracle registry name for freq, "duchi"/"harmony" for
+// mean, "CMS"/"HCMS" for sketch).
+func (a *ShardedAggregator) Mechanism() string { return a.cfg.Mechanism }
+
+// Params returns the frequency-style privacy parameters (epsilon and,
+// for tasks that have one, the categorical domain size).
+func (a *ShardedAggregator) Params() PrivacyParams {
+	return PrivacyParams{Epsilon: a.cfg.Epsilon, Domain: a.cfg.Domain}
+}
 
 // Shards returns the number of shards.
 func (a *ShardedAggregator) Shards() int { return len(a.shards) }
 
 // route picks the shard index for one envelope: a payload fingerprint
 // mixed with a rotating stripe (see the type comment for why both).
-func (a *ShardedAggregator) route(e *Envelope) int {
-	h := fingerprint(e) ^ a.seq.Add(1)*0x9e3779b97f4a7c15
+func (a *ShardedAggregator) route(raw json.RawMessage) int {
+	h := fingerprint(raw) ^ a.seq.Add(1)*0x9e3779b97f4a7c15
 	return hashutil.Range(h, len(a.shards))
 }
 
-// fingerprint mixes the envelope's cheap payload fields into one word.
-// It does not need collision resistance: routing only needs spread,
-// the rotating stripe already guarantees it, and the fingerprint's job
-// is just to decorrelate distinct payloads from arrival order. Hashing
-// the variable-length payload bodies would cost more than the
-// aggregation it is routing.
-func fingerprint(e *Envelope) uint64 {
-	x := uint64(e.Value)<<32 ^ e.Seed ^ uint64(uint8(e.Sign))<<24 ^
-		uint64(len(e.Bits))<<40 ^ uint64(len(e.Reals))<<48 ^ uint64(len(e.Values))<<56
-	return hashutil.HashInt64(0x5ca1ab1e, int(x))
+// fingerprintTail bounds how much of the payload the routing
+// fingerprint reads. Routing only needs spread, not collision
+// resistance — the rotating stripe already guarantees liveness — so
+// hashing entire multi-kilobyte payloads (SHE vectors, UE bit rows)
+// would cost more than the aggregation it is routing. The tail is
+// where payloads differ (values follow the fixed mechanism prefix).
+const fingerprintTail = 64
+
+// fingerprint mixes the envelope's trailing bytes and length into one
+// word, decorrelating distinct payloads from arrival order.
+func fingerprint(raw json.RawMessage) uint64 {
+	tail := raw
+	if len(tail) > fingerprintTail {
+		tail = tail[len(tail)-fingerprintTail:]
+	}
+	return hashutil.Hash64(0x5ca1ab1e^uint64(len(raw)), tail)
 }
 
-// Add validates and folds one envelope into its shard.
-func (a *ShardedAggregator) Add(e Envelope) error {
-	s := a.shards[a.route(&e)]
-	s.mu.Lock()
-	err := Aggregate(s.oracle, e)
-	s.mu.Unlock()
+// Add validates and folds one envelope into its shard. With a
+// task.Preparer the parse/validate/decode half runs before the lock is
+// taken; only the accumulate runs under it.
+func (a *ShardedAggregator) Add(raw json.RawMessage) error {
+	s := a.shards[a.route(raw)]
+	var err error
+	if a.prepare != nil {
+		var prepared any
+		if prepared, err = a.prepare(raw); err == nil {
+			s.mu.Lock()
+			err = s.agg.(task.Preparer).Fold(prepared)
+			s.mu.Unlock()
+		}
+	} else {
+		s.mu.Lock()
+		err = s.agg.Add(raw)
+		s.mu.Unlock()
+	}
 	if err == nil {
+		a.collected.Add(1)
 		a.epoch.Add(1)
 	}
 	return err
@@ -140,24 +197,60 @@ const maxBatchErrors = 16
 // per-report locking overhead amortizes to nearly zero) while the
 // rotating stripe spreads chunks and successive batches across shards.
 // Any shard can absorb any envelope, so placement never affects the
-// merged estimate. The batch is not atomic: invalid envelopes are
-// skipped and reported via the joined error (detailed up to
-// maxBatchErrors, then summarized) while the valid remainder is still
-// aggregated. It returns the number of envelopes accepted.
-func (a *ShardedAggregator) AddBatch(batch []Envelope) (int, error) {
+// merged estimate. With a task.Preparer the whole chunk is parsed and
+// decoded before its lock is taken, so concurrent batches contend on
+// vector adds, never on JSON decoding. The batch is not atomic:
+// invalid envelopes are skipped and reported via the joined error
+// (detailed up to maxBatchErrors, then summarized) while the valid
+// remainder is still aggregated. It returns the number of envelopes
+// accepted.
+func (a *ShardedAggregator) AddBatch(batch []json.RawMessage) (int, error) {
 	accepted, suppressed := 0, 0
 	var errs []error
+	reject := func(i int, err error) {
+		if len(errs) < maxBatchErrors {
+			errs = append(errs, fmt.Errorf("envelope %d: %w", i, err))
+		} else {
+			suppressed++
+		}
+	}
+	type preparedReport struct {
+		idx int // index in batch, for accurate rejection errors
+		val any
+	}
+	var prepared []preparedReport // reused across chunks on the Preparer path
 	for off := 0; off < len(batch); off += batchChunk {
 		chunk := batch[off:min(off+batchChunk, len(batch))]
-		sh := a.shards[a.route(&chunk[0])]
+		sh := a.shards[a.route(chunk[0])]
+		if a.prepare != nil {
+			prepared = prepared[:0]
+			for i := range chunk {
+				v, err := a.prepare(chunk[i])
+				if err != nil {
+					reject(off+i, err)
+					continue
+				}
+				prepared = append(prepared, preparedReport{idx: off + i, val: v})
+			}
+			folder := sh.agg.(task.Preparer)
+			sh.mu.Lock()
+			for _, p := range prepared {
+				// Fold after a successful Prepare does not fail (the
+				// Preparer contract); a failure here still only drops
+				// the one report.
+				if err := folder.Fold(p.val); err != nil {
+					reject(p.idx, err)
+					continue
+				}
+				accepted++
+			}
+			sh.mu.Unlock()
+			continue
+		}
 		sh.mu.Lock()
 		for i := range chunk {
-			if err := Aggregate(sh.oracle, chunk[i]); err != nil {
-				if len(errs) < maxBatchErrors {
-					errs = append(errs, fmt.Errorf("envelope %d: %w", off+i, err))
-				} else {
-					suppressed++
-				}
+			if err := sh.agg.Add(chunk[i]); err != nil {
+				reject(off+i, err)
 				continue
 			}
 			accepted++
@@ -165,6 +258,7 @@ func (a *ShardedAggregator) AddBatch(batch []Envelope) (int, error) {
 		sh.mu.Unlock()
 	}
 	if accepted > 0 {
+		a.collected.Add(int64(accepted))
 		a.epoch.Add(uint64(accepted))
 	}
 	if suppressed > 0 {
@@ -173,41 +267,44 @@ func (a *ShardedAggregator) AddBatch(batch []Envelope) (int, error) {
 	return accepted, errors.Join(errs...)
 }
 
-// ReportBits returns the mechanism's per-report payload size, a
-// constant of the configuration (taken from shard 0 under its lock
-// since Oracle implementations make no concurrency promises).
-func (a *ShardedAggregator) ReportBits() int {
-	s := a.shards[0]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.oracle.ReportBits()
+// ReportBits returns the task's per-report payload size, a constant of
+// the configuration captured at construction — no shard lock is taken,
+// so /status and the collection listing never contend with ingestion.
+func (a *ShardedAggregator) ReportBits() int { return a.reportBits }
+
+// Collected returns the total number of accepted reports, from the
+// atomic counter — no shard lock is taken, so status polling never
+// contends with ingestion.
+func (a *ShardedAggregator) Collected() int {
+	return int(a.collected.Load())
 }
 
-// Collected returns the total number of reports across all shards.
-func (a *ShardedAggregator) Collected() int {
+// collectedWalk sums the per-shard report counts under their locks:
+// the ground truth the atomic counter mirrors, kept for tests.
+func (a *ShardedAggregator) collectedWalk() int {
 	total := 0
 	for _, s := range a.shards {
 		s.mu.Lock()
-		total += s.oracle.Collected()
+		total += s.agg.Collected()
 		s.mu.Unlock()
 	}
 	return total
 }
 
-// Merged returns a fresh oracle holding the combined state of every
-// shard. Each shard is snapshotted under its own lock (a cheap deep
-// copy) and merged outside it, so ingestion stalls only for the copy,
-// not for the merge. The result is an independent consistent-enough
-// view: reports racing with the call land in either this merge or the
-// next, never half in one shard.
-func (a *ShardedAggregator) Merged() (freq.Oracle, error) {
-	merged, err := NewOracle(a.mechanism, a.params, nil)
+// Merged returns a fresh aggregator holding the combined state of
+// every shard. Each shard is snapshotted under its own lock (a cheap
+// deep copy) and merged outside it, so ingestion stalls only for the
+// copy, not for the merge. The result is an independent
+// consistent-enough view: reports racing with the call land in either
+// this merge or the next, never half in one shard.
+func (a *ShardedAggregator) Merged() (task.Aggregator, error) {
+	merged, err := task.New(a.cfg)
 	if err != nil {
 		return nil, err
 	}
 	for _, s := range a.shards {
 		s.mu.Lock()
-		snap := s.oracle.Snapshot()
+		snap := s.agg.Snapshot()
 		s.mu.Unlock()
 		if err := merged.Merge(snap); err != nil {
 			return nil, err
@@ -218,16 +315,16 @@ func (a *ShardedAggregator) Merged() (freq.Oracle, error) {
 }
 
 // MergedCached returns a merged view of the shards, reusing the last
-// merge while the ingestion epoch is unchanged. The returned oracle is
-// shared between callers and must be treated as read-only (estimate
-// reads allocate their own output, so concurrent reads are safe);
-// callers that intend to mutate should use Merged.
+// merge while the ingestion epoch is unchanged. The returned
+// aggregator is shared between callers and must be treated as
+// read-only (estimate reads allocate their own output, so concurrent
+// reads are safe); callers that intend to mutate should use Merged.
 //
 // The epoch is read before the shards are walked: reports racing with
 // the merge may or may not be included in the cached view, but they
 // always advance the epoch past the recorded one, so the next call
 // re-merges rather than serving them stale forever.
-func (a *ShardedAggregator) MergedCached() (freq.Oracle, error) {
+func (a *ShardedAggregator) MergedCached() (task.Aggregator, error) {
 	a.cacheMu.Lock()
 	defer a.cacheMu.Unlock()
 	// Loaded after taking the cache lock (but still before the merge),
@@ -247,6 +344,16 @@ func (a *ShardedAggregator) MergedCached() (freq.Oracle, error) {
 	return merged, nil
 }
 
+// Estimate answers one task-defined analyst query against the cached
+// merged view.
+func (a *ShardedAggregator) Estimate(query map[string][]string) (json.RawMessage, error) {
+	merged, err := a.MergedCached()
+	if err != nil {
+		return nil, err
+	}
+	return merged.Estimate(query)
+}
+
 // Epoch returns the current ingestion epoch: a counter advanced by
 // every accepted report, reset and restore. Equal epochs across two
 // observations mean the aggregate state is unchanged between them.
@@ -256,8 +363,8 @@ func (a *ShardedAggregator) Epoch() uint64 { return a.epoch.Load() }
 // tests (and curious operators) can verify the epoch cache is working.
 func (a *ShardedAggregator) MergeCount() uint64 { return a.mergeCount.Load() }
 
-// MarshalState serializes the aggregator's combined state as one
-// oracle state blob (see freq.Oracle.MarshalState). Shard layout is
+// MarshalState serializes the aggregator's combined state as one task
+// state blob (see task.Aggregator.MarshalState). Shard layout is
 // deliberately not preserved: merging is exact, so the combined state
 // is the whole truth and restores cleanly into any shard count.
 func (a *ShardedAggregator) MarshalState() ([]byte, error) {
@@ -274,16 +381,18 @@ func (a *ShardedAggregator) MarshalState() ([]byte, error) {
 // The whole restored aggregate lands in shard 0; subsequent ingestion
 // spreads over all shards as usual, and merging re-combines both.
 func (a *ShardedAggregator) RestoreState(data []byte) error {
-	if a.Collected() != 0 {
+	if a.Collected() != 0 || a.collectedWalk() != 0 {
 		return errors.New("core: cannot restore state into a non-empty aggregator")
 	}
 	s := a.shards[0]
 	s.mu.Lock()
-	err := s.oracle.UnmarshalState(data)
+	err := s.agg.UnmarshalState(data)
+	restored := s.agg.Collected()
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	a.collected.Store(int64(restored))
 	a.epoch.Add(1)
 	return nil
 }
@@ -292,8 +401,9 @@ func (a *ShardedAggregator) RestoreState(data []byte) error {
 func (a *ShardedAggregator) Reset() {
 	for _, s := range a.shards {
 		s.mu.Lock()
-		s.oracle.Reset()
+		s.agg.Reset()
 		s.mu.Unlock()
 	}
+	a.collected.Store(0)
 	a.epoch.Add(1)
 }

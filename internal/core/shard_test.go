@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"sync"
 	"testing"
@@ -50,6 +51,7 @@ func TestShardedMatchesSequentialUnderConcurrency(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			envs := genEnvelopes(t, name, workers*batches*batchSize, 41)
+			raws := rawEnvs(t, envs)
 
 			// Sequential baseline: one oracle, one order.
 			seq, err := NewOracle(name, shardParams(), nil)
@@ -62,14 +64,14 @@ func TestShardedMatchesSequentialUnderConcurrency(t *testing.T) {
 				}
 			}
 
-			agg, err := NewShardedAggregator(name, shardParams(), 4, nil)
+			agg, err := NewFreqShardedAggregator(name, shardParams(), 4)
 			if err != nil {
 				t.Fatal(err)
 			}
 			var wg sync.WaitGroup
 			errs := make(chan error, workers*batches)
 			for w := 0; w < workers; w++ {
-				chunk := envs[w*batches*batchSize : (w+1)*batches*batchSize]
+				chunk := raws[w*batches*batchSize : (w+1)*batches*batchSize]
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
@@ -97,7 +99,7 @@ func TestShardedMatchesSequentialUnderConcurrency(t *testing.T) {
 			if merged.Collected() != seq.Collected() {
 				t.Fatalf("merged collected %d, sequential %d", merged.Collected(), seq.Collected())
 			}
-			got, want := merged.EstimateCounts(), seq.EstimateCounts()
+			got, want := freqCounts(t, merged), seq.EstimateCounts()
 			for v := range want {
 				if got[v] != want[v] {
 					t.Errorf("value %d: merged estimate %v != sequential %v", v, got[v], want[v])
@@ -113,14 +115,14 @@ func TestShardedMatchesSequentialUnderConcurrency(t *testing.T) {
 // lost or double-counted.
 func TestShardedConcurrentSinglesAndReads(t *testing.T) {
 	const workers, per = 6, 200
-	envs := genEnvelopes(t, MechanismGRR, workers*per, 43)
-	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 3, nil)
+	raws := rawEnvs(t, genEnvelopes(t, MechanismGRR, workers*per, 43))
+	agg, err := NewFreqShardedAggregator(MechanismGRR, shardParams(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		chunk := envs[w*per : (w+1)*per]
+		chunk := raws[w*per : (w+1)*per]
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -151,6 +153,66 @@ func TestShardedConcurrentSinglesAndReads(t *testing.T) {
 	if agg.Collected() != workers*per {
 		t.Fatalf("collected %d want %d", agg.Collected(), workers*per)
 	}
+	// After ingestion quiesces the lock-free counter and the lock-walk
+	// sum must agree exactly — the contract behind serving /status from
+	// the atomic.
+	if agg.Collected() != agg.collectedWalk() {
+		t.Fatalf("atomic collected %d != lock-walk %d", agg.Collected(), agg.collectedWalk())
+	}
+}
+
+// TestCollectedCounterMatchesLockWalk pins the /status fast path
+// through every mutation: adds, batches (with rejects), restore and
+// reset must keep the atomic counter equal to the per-shard lock-walk.
+func TestCollectedCounterMatchesLockWalk(t *testing.T) {
+	agg, err := NewFreqShardedAggregator(MechanismGRR, shardParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if a, w := agg.Collected(), agg.collectedWalk(); a != w {
+			t.Fatalf("%s: atomic collected %d != lock-walk %d", stage, a, w)
+		}
+	}
+	check("empty")
+	raws := rawEnvs(t, genEnvelopes(t, MechanismGRR, 60, 59))
+	for _, r := range raws[:20] {
+		if err := agg.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after adds")
+	// A batch with rejects: only accepted envelopes may count.
+	batch := append([]json.RawMessage{}, raws[20:40]...)
+	batch = append(batch, mustRaw(t, Envelope{Mechanism: "GRR", Value: 999}))
+	if _, err := agg.AddBatch(batch); err == nil {
+		t.Fatal("invalid envelope accepted")
+	}
+	check("after partial batch")
+	if agg.Collected() != 40 {
+		t.Fatalf("collected %d want 40", agg.Collected())
+	}
+
+	// Restore into a fresh aggregator must seed the counter.
+	state, err := agg.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := NewFreqShardedAggregator(MechanismGRR, shardParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg2.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if a, w := agg2.Collected(), agg2.collectedWalk(); a != 40 || a != w {
+		t.Fatalf("restored: atomic %d lock-walk %d want 40", a, w)
+	}
+	agg2.Reset()
+	if a, w := agg2.Collected(), agg2.collectedWalk(); a != 0 || a != w {
+		t.Fatalf("reset: atomic %d lock-walk %d want 0", a, w)
+	}
 }
 
 // TestShardedAggregatorRouting checks that hash routing actually
@@ -158,18 +220,18 @@ func TestShardedConcurrentSinglesAndReads(t *testing.T) {
 // non-trivial share.
 func TestShardedAggregatorRouting(t *testing.T) {
 	const n = 4000
-	envs := genEnvelopes(t, MechanismGRR, n, 47)
-	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 4, nil)
+	raws := rawEnvs(t, genEnvelopes(t, MechanismGRR, n, 47))
+	agg, err := NewFreqShardedAggregator(MechanismGRR, shardParams(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range envs {
+	for _, e := range raws {
 		if err := agg.Add(e); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i, s := range agg.shards {
-		got := s.oracle.Collected()
+		got := s.agg.Collected()
 		if got < n/agg.Shards()/2 {
 			t.Errorf("shard %d starved: %d of %d reports", i, got, n)
 		}
@@ -180,15 +242,15 @@ func TestShardedAggregatorRouting(t *testing.T) {
 // atomic batch semantics: invalid envelopes are rejected and reported,
 // valid ones still land.
 func TestShardedAggregatorBatchPartialAccept(t *testing.T) {
-	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 2, nil)
+	agg, err := NewFreqShardedAggregator(MechanismGRR, shardParams(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := []Envelope{
-		{Mechanism: "GRR", Value: 3},
-		{Mechanism: "GRR", Value: 999}, // out of domain
-		{Mechanism: "OLH", Value: 0},   // wrong mechanism
-		{Mechanism: "GRR", Value: 5},
+	batch := []json.RawMessage{
+		mustRaw(t, Envelope{Mechanism: "GRR", Value: 3}),
+		mustRaw(t, Envelope{Mechanism: "GRR", Value: 999}), // out of domain
+		mustRaw(t, Envelope{Mechanism: "OLH", Value: 0}),   // wrong mechanism
+		mustRaw(t, Envelope{Mechanism: "GRR", Value: 5}),
 	}
 	accepted, err := agg.AddBatch(batch)
 	if err == nil {
@@ -208,11 +270,11 @@ func TestShardedAggregatorBatchPartialAccept(t *testing.T) {
 
 // TestShardedAggregatorReset checks Reset clears every shard.
 func TestShardedAggregatorReset(t *testing.T) {
-	agg, err := NewShardedAggregator(MechanismOUE, shardParams(), 3, nil)
+	agg, err := NewFreqShardedAggregator(MechanismOUE, shardParams(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range genEnvelopes(t, MechanismOUE, 60, 53) {
+	for _, e := range rawEnvs(t, genEnvelopes(t, MechanismOUE, 60, 53)) {
 		if err := agg.Add(e); err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +290,7 @@ func TestShardedAggregatorReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, c := range merged.EstimateCounts() {
+	for v, c := range freqCounts(t, merged) {
 		if math.Abs(c) > 1e-12 {
 			t.Fatalf("value %d: nonzero estimate %v after reset", v, c)
 		}
@@ -238,17 +300,17 @@ func TestShardedAggregatorReset(t *testing.T) {
 // TestShardedAggregatorDefaults checks the GOMAXPROCS default and
 // accessors.
 func TestShardedAggregatorDefaults(t *testing.T) {
-	agg, err := NewShardedAggregator(MechanismGRR, shardParams(), 0, nil)
+	agg, err := NewFreqShardedAggregator(MechanismGRR, shardParams(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if agg.Shards() < 1 {
 		t.Fatalf("shards %d", agg.Shards())
 	}
-	if agg.Mechanism() != MechanismGRR || agg.Params().Domain != 32 {
-		t.Fatalf("accessors: %s %+v", agg.Mechanism(), agg.Params())
+	if agg.Mechanism() != MechanismGRR || agg.Params().Domain != 32 || agg.TaskType() != "freq" {
+		t.Fatalf("accessors: %s %s %+v", agg.TaskType(), agg.Mechanism(), agg.Params())
 	}
-	if _, err := NewShardedAggregator("NOPE", shardParams(), 2, nil); err == nil {
+	if _, err := NewFreqShardedAggregator("NOPE", shardParams(), 2); err == nil {
 		t.Fatal("unknown mechanism accepted")
 	}
 }

@@ -186,11 +186,14 @@ func (h *Harmony) Estimate() []float64 {
 func (h *Harmony) Collected() int { return h.n }
 
 // Variance returns the worst-case per-coordinate estimator variance
-// for n users: d²·C²/n.
+// for n users: d·C²/n. Each user reports ±C·d on one uniformly
+// sampled coordinate, so a coordinate's per-user contribution has
+// second moment (C·d)²/d = C²·d, and the n-user mean has variance at
+// most C²·d/n (TestHarmonyVariancePinsEmpirical pins the constant).
 func (h *Harmony) Variance(n int) float64 {
 	if n == 0 {
 		return math.Inf(1)
 	}
 	dd := float64(h.dim)
-	return dd * dd * h.c * h.c / float64(n)
+	return dd * h.c * h.c / float64(n)
 }

@@ -1,0 +1,175 @@
+package mean
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+// TestDuchiMergeMatchesSequential pins exact mergeability: splitting a
+// report stream across two estimators and merging equals one estimator
+// absorbing everything, up to float summation order (splitting
+// reorders the additions, which costs at most an ulp).
+func TestDuchiMergeMatchesSequential(t *testing.T) {
+	src := ldprand.NewSplitMix64(1)
+	whole := NewDuchi(1, src)
+	left := NewDuchi(1, nil)
+	right := NewDuchi(1, nil)
+	for i := 0; i < 1000; i++ {
+		r := whole.Privatize(2*ldprand.Float64(src) - 1)
+		whole.Aggregate(r)
+		if i%2 == 0 {
+			left.Aggregate(r)
+		} else {
+			right.Aggregate(r)
+		}
+	}
+	if err := left.Merge(right.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if left.Collected() != whole.Collected() || math.Abs(left.Estimate()-whole.Estimate()) > 1e-12 {
+		t.Fatalf("merged (%d, %v) != sequential (%d, %v)",
+			left.Collected(), left.Estimate(), whole.Collected(), whole.Estimate())
+	}
+	if err := left.Merge(NewDuchi(2, nil)); err == nil {
+		t.Fatal("merge across epsilons accepted")
+	}
+}
+
+// TestHarmonyMergeMatchesSequential does the same for the vector path.
+func TestHarmonyMergeMatchesSequential(t *testing.T) {
+	const dim = 4
+	src := ldprand.NewSplitMix64(2)
+	whole := NewHarmony(1, dim, src)
+	left := NewHarmony(1, dim, nil)
+	right := NewHarmony(1, dim, nil)
+	for i := 0; i < 1000; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = 2*ldprand.Float64(src) - 1
+		}
+		r := whole.Privatize(x)
+		whole.Aggregate(r)
+		if i%2 == 0 {
+			left.Aggregate(r)
+		} else {
+			right.Aggregate(r)
+		}
+	}
+	if err := left.Merge(right.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lm, wm := left.Estimate(), whole.Estimate()
+	for j := range wm {
+		if math.Abs(lm[j]-wm[j]) > 1e-12 {
+			t.Fatalf("merged %v != sequential %v", lm, wm)
+		}
+	}
+	if err := left.Merge(NewHarmony(1, dim+1, nil)); err == nil {
+		t.Fatal("merge across dimensions accepted")
+	}
+}
+
+// TestHarmonyVariancePinsEmpirical pins the analytic worst-case
+// variance d·C²/n against measurement: many independent estimators of
+// the all-zero vector give ~480 samples of the per-coordinate
+// estimate, whose empirical variance must match the formula within a
+// factor the sampling noise allows. This is the test that catches a
+// mis-derived constant (the d²·C²/n overstatement served inflated
+// confidence intervals before it was pinned).
+func TestHarmonyVariancePinsEmpirical(t *testing.T) {
+	const dim, n, trials = 8, 400, 60
+	src := ldprand.NewSplitMix64(11)
+	zero := make([]float64, dim)
+	var sumSq float64
+	var samples int
+	for tr := 0; tr < trials; tr++ {
+		h := NewHarmony(1, dim, src)
+		for i := 0; i < n; i++ {
+			h.Collect(zero)
+		}
+		for _, v := range h.Estimate() {
+			sumSq += v * v
+			samples++
+		}
+	}
+	empirical := sumSq / float64(samples)
+	analytic := NewHarmony(1, dim, nil).Variance(n)
+	if ratio := analytic / empirical; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("analytic variance %v vs empirical %v (ratio %.2f)", analytic, empirical, ratio)
+	}
+}
+
+// TestDuchiStateRoundTrip pins bit-identical checkpoint restore and
+// parameter guarding.
+func TestDuchiStateRoundTrip(t *testing.T) {
+	src := ldprand.NewSplitMix64(3)
+	d := NewDuchi(1.5, src)
+	for i := 0; i < 500; i++ {
+		d.Collect(2*ldprand.Float64(src) - 1)
+	}
+	blob, err := d.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewDuchi(1.5, nil)
+	if err := back.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Collected() != d.Collected() || back.Estimate() != d.Estimate() {
+		t.Fatal("state round trip drifted")
+	}
+	if err := NewDuchi(2, nil).UnmarshalState(blob); err == nil {
+		t.Fatal("state restored onto mismatched epsilon")
+	}
+	if err := back.UnmarshalState([]byte(`{"mechanism":"duchi","epsilon":1.5,"sum":0,"n":-1}`)); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if err := back.UnmarshalState([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}
+
+// TestHarmonyStateRoundTrip does the same for the vector path,
+// including the snapshot independence of the sums slice.
+func TestHarmonyStateRoundTrip(t *testing.T) {
+	const dim = 3
+	src := ldprand.NewSplitMix64(4)
+	h := NewHarmony(1, dim, src)
+	for i := 0; i < 500; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = 2*ldprand.Float64(src) - 1
+		}
+		h.Collect(x)
+	}
+	snap := h.Snapshot()
+	before := h.Estimate()
+	blob, err := h.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the original must not touch the snapshot.
+	h.Collect([]float64{1, 1, 1})
+	if !reflect.DeepEqual(snap.Estimate(), before) {
+		t.Fatal("snapshot shares state with the original")
+	}
+
+	back := NewHarmony(1, dim, nil)
+	if err := back.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Estimate(), before) {
+		t.Fatal("state round trip drifted")
+	}
+	if err := NewHarmony(1, dim+1, nil).UnmarshalState(blob); err == nil {
+		t.Fatal("state restored onto mismatched dimension")
+	}
+	// Reset clears the restored aggregate.
+	back.Reset()
+	if back.Collected() != 0 {
+		t.Fatalf("collected %d after reset", back.Collected())
+	}
+}

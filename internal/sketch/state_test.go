@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCountMinStateRoundTrip pins bit-identical checkpoint restore:
+// marshal → fresh sketch → unmarshal reproduces every estimate.
+func TestCountMinStateRoundTrip(t *testing.T) {
+	c := NewCountMin(4, 32, 7)
+	for i := 0; i < 500; i++ {
+		c.Add([]byte(fmt.Sprintf("item-%d", i%20)), 1+float64(i%3))
+	}
+	blob, err := c.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewCountMin(4, 32, 7)
+	if err := back.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != c.Total() {
+		t.Fatalf("total %v want %v", back.Total(), c.Total())
+	}
+	for i := 0; i < 20; i++ {
+		item := []byte(fmt.Sprintf("item-%d", i))
+		if back.Estimate(item) != c.Estimate(item) {
+			t.Fatalf("%s: min estimate drifted", item)
+		}
+		if back.EstimateMean(item) != c.EstimateMean(item) {
+			t.Fatalf("%s: mean estimate drifted", item)
+		}
+	}
+
+	// Parameter mismatches are refused; the receiver is unchanged.
+	for _, other := range []*CountMin{
+		NewCountMin(3, 32, 7), NewCountMin(4, 16, 7), NewCountMin(4, 32, 8),
+	} {
+		if err := other.UnmarshalState(blob); err == nil {
+			t.Fatal("state restored onto mismatched parameters")
+		}
+	}
+	if err := back.UnmarshalState([]byte(`{"k":4,"m":32,"seed":7,"rows":[1],"total":1}`)); err == nil {
+		t.Fatal("short rows accepted")
+	}
+	if err := back.UnmarshalState([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestCountMinSnapshotAndReset pins snapshot independence and Reset.
+func TestCountMinSnapshotAndReset(t *testing.T) {
+	c := NewCountMin(3, 16, 1)
+	c.Add([]byte("x"), 5)
+	snap := c.Snapshot()
+	c.Add([]byte("x"), 5)
+	if snap.Estimate([]byte("x")) != 5 {
+		t.Fatalf("snapshot sees later writes: %v", snap.Estimate([]byte("x")))
+	}
+	c.Reset()
+	if c.Total() != 0 || c.Estimate([]byte("x")) != 0 {
+		t.Fatal("reset left counters behind")
+	}
+}
+
+// TestCountSketchStateRoundTrip mirrors the count-min round trip for
+// the signed sketch.
+func TestCountSketchStateRoundTrip(t *testing.T) {
+	c := NewCountSketch(5, 32, 9)
+	for i := 0; i < 500; i++ {
+		c.Add([]byte(fmt.Sprintf("item-%d", i%20)), 1)
+	}
+	blob, err := c.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewCountSketch(5, 32, 9)
+	if err := back.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		item := []byte(fmt.Sprintf("item-%d", i))
+		if back.Estimate(item) != c.Estimate(item) {
+			t.Fatalf("%s: estimate drifted", item)
+		}
+	}
+	if err := NewCountSketch(5, 32, 10).UnmarshalState(blob); err == nil {
+		t.Fatal("state restored onto mismatched seed")
+	}
+	snap := c.Snapshot()
+	c.Reset()
+	if c.Estimate([]byte("item-0")) != 0 {
+		t.Fatal("reset left counters behind")
+	}
+	if snap.Estimate([]byte("item-0")) == 0 {
+		t.Fatal("snapshot shares state with the original")
+	}
+}

@@ -1,0 +1,377 @@
+// Package cmstask adapts Apple's private sketch protocols
+// (internal/cms: Count-Mean-Sketch and its one-bit Hadamard variant)
+// to the task-generic aggregation interface, backed by the mergeable
+// count-min substrate in internal/sketch. It is the huge-domain task:
+// items are arbitrary byte strings (words, URLs), never enumerated by
+// the server, and analysts query the sketch for the counts of the
+// candidates they care about — the heavy-hitter read over domains no
+// frequency oracle could tabulate.
+//
+// Clients randomize locally exactly as cms.Client/cms.HadamardClient
+// do; the server folds the debiased contribution of each report into a
+// sketch.CountMin whose cells are then unbiased estimates of the true
+// counts landing there. Because the backing sketch merges exactly and
+// serializes exactly, the task inherits sharding and checkpointing for
+// free.
+package cmstask
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+
+	"repro/internal/cms"
+	"repro/internal/ldprand"
+	"repro/internal/sketch"
+	"repro/internal/task"
+	"repro/internal/transform"
+)
+
+func init() {
+	task.Register(task.TypeSketch, New)
+}
+
+// Mechanism names of the sketch task family.
+const (
+	MechanismCMS  = "CMS"
+	MechanismHCMS = "HCMS"
+)
+
+// Mechanisms lists the sketch mechanisms in presentation order.
+func Mechanisms() []string { return []string{MechanismCMS, MechanismHCMS} }
+
+// Envelope is the JSON wire format of one privatized sketch report.
+// CMS sets Bits (the perturbed ±1 row, packed as 0/1 bytes, base64);
+// HCMS sets Index and Sign (one perturbed Hadamard coefficient).
+type Envelope struct {
+	Mechanism string `json:"mechanism"`
+	Row       int    `json:"row"`
+	Bits      string `json:"bits,omitempty"`
+	Index     int    `json:"index,omitempty"`
+	Sign      int8   `json:"sign,omitempty"`
+}
+
+// Aggregator adapts one private sketch to task.Aggregator. The backing
+// CountMin holds debiased cell sums (CMS) or debiased Hadamard spectra
+// (HCMS); its population total counts accepted reports, which is the n
+// in the count-mean debiasing at estimate time.
+type Aggregator struct {
+	mechanism string
+	params    cms.Params
+	cEps      float64 // debias constant: (e^(ε/2)+1)/(e^(ε/2)−1) CMS, (e^ε+1)/(e^ε−1) HCMS
+	cm        *sketch.CountMin
+}
+
+// New builds a sketch task aggregator: Mechanism selects "CMS" or
+// "HCMS"; Epsilon, Width, Hashes and SketchSeed fill the cms.Params.
+// HCMS additionally requires a power-of-two width.
+func New(cfg task.Config) (task.Aggregator, error) {
+	p := cms.Params{Epsilon: cfg.Epsilon, Width: cfg.Width, Hashes: cfg.Hashes, Seed: cfg.SketchSeed}
+	switch cfg.Mechanism {
+	case MechanismCMS:
+		if err := p.Validate(false); err != nil {
+			return nil, err
+		}
+		e2 := math.Exp(p.Epsilon / 2)
+		return &Aggregator{mechanism: MechanismCMS, params: p, cEps: (e2 + 1) / (e2 - 1),
+			cm: sketch.NewCountMin(p.Hashes, p.Width, p.Seed)}, nil
+	case MechanismHCMS:
+		if err := p.Validate(true); err != nil {
+			return nil, err
+		}
+		e := math.Exp(p.Epsilon)
+		return &Aggregator{mechanism: MechanismHCMS, params: p, cEps: (e + 1) / (e - 1),
+			cm: sketch.NewCountMin(p.Hashes, p.Width, p.Seed)}, nil
+	default:
+		return nil, fmt.Errorf("cmstask: unknown mechanism %q (have %v)", cfg.Mechanism, Mechanisms())
+	}
+}
+
+// Type returns "sketch".
+func (a *Aggregator) Type() string { return task.TypeSketch }
+
+// Add validates one sketch envelope and folds its debiased
+// contribution into the backing sketch.
+func (a *Aggregator) Add(report json.RawMessage) error {
+	prepared, err := a.Prepare(report)
+	if err != nil {
+		return err
+	}
+	return a.Fold(prepared)
+}
+
+// preparedCMS is a validated, base64-decoded CMS row report.
+type preparedCMS struct {
+	row  int
+	bits []byte // width bytes, each 0 or 1
+}
+
+// preparedHCMS is a validated HCMS coefficient report.
+type preparedHCMS struct {
+	row, index int
+	sign       int8
+}
+
+// Prepare parses, validates and payload-decodes one raw envelope
+// (task.Preparer); only the immutable parameters are read, so the
+// expensive base64 decoding runs without synchronization.
+func (a *Aggregator) Prepare(report json.RawMessage) (any, error) {
+	var e Envelope
+	if err := json.Unmarshal(report, &e); err != nil {
+		return nil, fmt.Errorf("cmstask: bad envelope: %w", err)
+	}
+	if e.Mechanism != a.mechanism {
+		return nil, fmt.Errorf("cmstask: envelope mechanism %q does not match aggregator %q", e.Mechanism, a.mechanism)
+	}
+	if e.Row < 0 || e.Row >= a.params.Hashes {
+		return nil, fmt.Errorf("cmstask: row %d out of range [0,%d)", e.Row, a.params.Hashes)
+	}
+	if a.mechanism == MechanismCMS {
+		bits, err := base64.StdEncoding.DecodeString(e.Bits)
+		if err != nil {
+			return nil, fmt.Errorf("cmstask: bad bits encoding: %w", err)
+		}
+		if len(bits) != a.params.Width {
+			return nil, fmt.Errorf("cmstask: report width %d, want %d", len(bits), a.params.Width)
+		}
+		for i, b := range bits {
+			if b != 0 && b != 1 {
+				return nil, fmt.Errorf("cmstask: report bit %d has value %d, want 0 or 1", i, b)
+			}
+		}
+		return preparedCMS{row: e.Row, bits: bits}, nil
+	}
+	if e.Index < 0 || e.Index >= a.params.Width {
+		return nil, fmt.Errorf("cmstask: index %d out of range [0,%d)", e.Index, a.params.Width)
+	}
+	if e.Sign != 1 && e.Sign != -1 {
+		return nil, fmt.Errorf("cmstask: sign must be ±1, got %d", e.Sign)
+	}
+	return preparedHCMS{row: e.Row, index: e.Index, sign: e.Sign}, nil
+}
+
+// Fold accumulates a Prepared report (task.Preparer): every coordinate
+// of a CMS row gets the debiased contribution k·(c_ε/2·v + 1/2), a
+// HCMS coefficient gets k·m·c_ε·sign — exactly as cms.Server and
+// cms.HadamardServer fold them.
+func (a *Aggregator) Fold(prepared any) error {
+	switch p := prepared.(type) {
+	case preparedCMS:
+		if a.mechanism != MechanismCMS {
+			break
+		}
+		k := float64(a.params.Hashes)
+		for i, b := range p.bits {
+			v := -1.0
+			if b == 1 {
+				v = 1
+			}
+			a.cm.AddToCell(p.row, i, k*(a.cEps/2*v+0.5))
+		}
+		a.cm.AddTotal(1)
+		return nil
+	case preparedHCMS:
+		if a.mechanism != MechanismHCMS {
+			break
+		}
+		a.cm.AddToCell(p.row, p.index,
+			float64(a.params.Hashes)*float64(a.params.Width)*a.cEps*float64(p.sign))
+		a.cm.AddTotal(1)
+		return nil
+	}
+	return fmt.Errorf("cmstask: prepared value %T does not fit mechanism %s", prepared, a.mechanism)
+}
+
+// AddBatch folds a batch of envelopes, skipping invalid ones.
+func (a *Aggregator) AddBatch(reports []json.RawMessage) (int, error) {
+	return task.AddAll(a, reports)
+}
+
+// Collected returns the number of reports aggregated (the sketch's
+// population total: exactly one unit per accepted report).
+func (a *Aggregator) Collected() int { return int(a.cm.Total()) }
+
+// ReportBits returns the report payload size: the m-coordinate row for
+// CMS, one coefficient bit for HCMS (row and index ride shared
+// randomness in a deployment, as the literature counts it).
+func (a *Aggregator) ReportBits() int {
+	if a.mechanism == MechanismCMS {
+		return a.params.Width
+	}
+	return 1
+}
+
+// Reset discards all aggregated reports.
+func (a *Aggregator) Reset() { a.cm.Reset() }
+
+// Merge folds another sketch aggregator's state into the receiver; the
+// backing sketches enforce the parameter match.
+func (a *Aggregator) Merge(other task.Aggregator) error {
+	o, ok := other.(*Aggregator)
+	if !ok {
+		return task.MergeTypeError(a, other)
+	}
+	if o.mechanism != a.mechanism || o.params != a.params {
+		return fmt.Errorf("cmstask: cannot merge %s into %s (parameter mismatch)", o.mechanism, a.mechanism)
+	}
+	return a.cm.Merge(o.cm)
+}
+
+// Snapshot returns an independent deep copy of the aggregate state.
+func (a *Aggregator) Snapshot() task.Aggregator {
+	cp := *a
+	cp.cm = a.cm.Snapshot()
+	return &cp
+}
+
+// aggState is the serialized adapter state: the mechanism and epsilon
+// guard restores onto a differently-debiased aggregator (width, hashes
+// and seed are guarded by the sketch state itself).
+type aggState struct {
+	Mechanism string          `json:"mechanism"`
+	Epsilon   float64         `json:"epsilon"`
+	Sketch    json.RawMessage `json:"sketch"`
+}
+
+// MarshalState serializes the aggregate state as JSON.
+func (a *Aggregator) MarshalState() ([]byte, error) {
+	blob, err := a.cm.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(aggState{Mechanism: a.mechanism, Epsilon: a.params.Epsilon, Sketch: blob})
+}
+
+// UnmarshalState restores a state blob produced by MarshalState.
+func (a *Aggregator) UnmarshalState(data []byte) error {
+	var st aggState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("cmstask: state: %w", err)
+	}
+	if st.Mechanism != a.mechanism || st.Epsilon != a.params.Epsilon {
+		return fmt.Errorf("cmstask: state parameter mismatch")
+	}
+	return a.cm.UnmarshalState(st.Sketch)
+}
+
+// ItemCount is one queried item's estimate.
+type ItemCount struct {
+	Item  string  `json:"item"`
+	Count float64 `json:"count"`
+}
+
+// EstimateResult is the sketch task's estimate payload: the unbiased
+// count estimate of every queried item. The server never enumerates
+// the domain — analysts name their candidates with ?item= parameters.
+type EstimateResult struct {
+	Mechanism string      `json:"mechanism"`
+	Width     int         `json:"width"`
+	Hashes    int         `json:"hashes"`
+	Items     []ItemCount `json:"items"`
+}
+
+// Estimate answers ?item=a&item=b&... with per-item count estimates
+// (an empty query returns an empty item list: the sketch has no
+// domain to enumerate).
+func (a *Aggregator) Estimate(query url.Values) (json.RawMessage, error) {
+	items := query["item"]
+	res := EstimateResult{
+		Mechanism: a.mechanism,
+		Width:     a.params.Width,
+		Hashes:    a.params.Hashes,
+		Items:     make([]ItemCount, 0, len(items)),
+	}
+	var inverted [][]float64
+	if a.mechanism == MechanismHCMS && len(items) > 0 {
+		// Invert every row's spectrum once, then read all items from it.
+		inverted = make([][]float64, a.params.Hashes)
+		for j := range inverted {
+			spectrum := make([]float64, a.params.Width)
+			copy(spectrum, a.cm.Row(j))
+			transform.Inverse(spectrum)
+			inverted[j] = spectrum
+		}
+	}
+	for _, it := range items {
+		var count float64
+		if a.mechanism == MechanismCMS {
+			count = a.estimateCMS([]byte(it))
+		} else {
+			count = a.estimateInverted(inverted, []byte(it))
+		}
+		res.Items = append(res.Items, ItemCount{Item: it, Count: count})
+	}
+	return json.Marshal(res)
+}
+
+// estimateCMS is the count-mean debiased point estimate, written with
+// exactly cms.Server.Estimate's floating-point expression so the
+// adapter reproduces that server's estimates bit for bit (the backing
+// CountMin's EstimateMean parenthesizes the debias differently, which
+// costs an ulp).
+func (a *Aggregator) estimateCMS(item []byte) float64 {
+	m := float64(a.params.Width)
+	var sum float64
+	for j := 0; j < a.params.Hashes; j++ {
+		sum += a.cm.Row(j)[a.cm.Position(j, item)]
+	}
+	mean := sum / float64(a.params.Hashes)
+	return (m / (m - 1)) * (mean - a.cm.Total()/m)
+}
+
+// estimateInverted applies the count-mean debiasing to pre-inverted
+// HCMS rows, mirroring cms.HadamardServer.Estimate.
+func (a *Aggregator) estimateInverted(inverted [][]float64, item []byte) float64 {
+	m := float64(a.params.Width)
+	var sum float64
+	for j := 0; j < a.params.Hashes; j++ {
+		sum += inverted[j][a.cm.Position(j, item)]
+	}
+	mean := sum / float64(a.params.Hashes)
+	return (m / (m - 1)) * (mean - a.cm.Total()/m)
+}
+
+// Client is the user-side half of the sketch task: it privatizes one
+// item (an arbitrary byte string) into a wire envelope, using the
+// matching cms client. A nil source selects crypto/rand.
+type Client struct {
+	mechanism string
+	cms       *cms.Client
+	hcms      *cms.HadamardClient
+}
+
+// NewClient returns a reporting client for the configured mechanism.
+func NewClient(cfg task.Config, src ldprand.Source) (*Client, error) {
+	p := cms.Params{Epsilon: cfg.Epsilon, Width: cfg.Width, Hashes: cfg.Hashes, Seed: cfg.SketchSeed}
+	switch cfg.Mechanism {
+	case MechanismCMS:
+		c, err := cms.NewClient(p, src)
+		if err != nil {
+			return nil, err
+		}
+		return &Client{mechanism: MechanismCMS, cms: c}, nil
+	case MechanismHCMS:
+		c, err := cms.NewHadamardClient(p, src)
+		if err != nil {
+			return nil, err
+		}
+		return &Client{mechanism: MechanismHCMS, hcms: c}, nil
+	default:
+		return nil, fmt.Errorf("cmstask: unknown mechanism %q (have %v)", cfg.Mechanism, Mechanisms())
+	}
+}
+
+// Report privatizes one item into a wire envelope.
+func (c *Client) Report(item []byte) (json.RawMessage, error) {
+	var e Envelope
+	if c.cms != nil {
+		r := c.cms.Report(item)
+		e = Envelope{Mechanism: MechanismCMS, Row: r.Row, Bits: base64.StdEncoding.EncodeToString(r.Bits)}
+	} else {
+		r := c.hcms.Report(item)
+		e = Envelope{Mechanism: MechanismHCMS, Row: r.Row, Index: r.Index, Sign: r.Sign}
+	}
+	return json.Marshal(e)
+}

@@ -1,0 +1,232 @@
+package freqtask_test
+
+import (
+	"encoding/json"
+	"net/url"
+	"reflect"
+	"testing"
+
+	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/freqtask"
+)
+
+func cfg(mech string) task.Config {
+	return task.Config{Task: task.TypeFreq, Mechanism: mech, Epsilon: 2, Domain: 8}
+}
+
+// envelopes privatizes n deterministic values through one oracle.
+func envelopes(t *testing.T, mech string, n int, seed uint64) []json.RawMessage {
+	t.Helper()
+	o, err := freqtask.NewOracle(mech, 2, 8, ldprand.NewSplitMix64(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.NewSplitMix64(seed + 1)
+	out := make([]json.RawMessage, n)
+	for i := range out {
+		env, err := freqtask.Privatize(o, ldprand.Intn(src, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = raw
+	}
+	return out
+}
+
+// TestAdapterMatchesDirectOracle is the behavior-identity claim of the
+// port: feeding the same envelope stream through the task adapter and
+// through the pre-task path (Aggregate onto a bare oracle) must
+// produce bit-identical estimates, for every mechanism.
+func TestAdapterMatchesDirectOracle(t *testing.T) {
+	for _, mech := range freqtask.Mechanisms() {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			raws := envelopes(t, mech, 400, 11)
+
+			direct, err := freqtask.NewOracle(mech, 2, 8, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, raw := range raws {
+				var e freqtask.Envelope
+				if err := json.Unmarshal(raw, &e); err != nil {
+					t.Fatal(err)
+				}
+				if err := freqtask.Aggregate(direct, e); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			a, err := freqtask.New(cfg(mech))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, raw := range raws {
+				if err := a.Add(raw); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if a.Collected() != direct.Collected() {
+				t.Fatalf("collected %d want %d", a.Collected(), direct.Collected())
+			}
+			got := a.(*freqtask.Aggregator).Oracle().EstimateCounts()
+			want := direct.EstimateCounts()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("adapter estimates differ from direct oracle:\n%v\n%v", got, want)
+			}
+
+			// And the state blob round-trips bit-identically through a
+			// fresh adapter — the checkpoint contract.
+			blob, err := a.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := freqtask.New(cfg(mech))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.UnmarshalState(blob); err != nil {
+				t.Fatal(err)
+			}
+			got2 := b.(*freqtask.Aggregator).Oracle().EstimateCounts()
+			if !reflect.DeepEqual(got2, want) {
+				t.Fatalf("restored estimates differ")
+			}
+		})
+	}
+}
+
+// TestAdapterRestoresPreTaskOracleState pins backward compatibility:
+// a state blob written by a bare oracle (what PR 3 checkpoints hold)
+// restores through the adapter bit-identically.
+func TestAdapterRestoresPreTaskOracleState(t *testing.T) {
+	o, err := freqtask.NewOracle("OLH", 2, 8, ldprand.NewSplitMix64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		o.Collect(i % 8)
+	}
+	blob, err := o.MarshalState() // the pre-task snapshot state format
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := freqtask.New(cfg("OLH"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if a.Collected() != 300 {
+		t.Fatalf("collected %d want 300", a.Collected())
+	}
+	if !reflect.DeepEqual(a.(*freqtask.Aggregator).Oracle().EstimateCounts(), o.EstimateCounts()) {
+		t.Fatal("pre-task oracle state restored with different estimates")
+	}
+}
+
+// TestMergeMatchesSequential pins exact mergeability through the
+// adapter: split a stream across two aggregators, merge, compare to
+// one aggregator absorbing everything.
+func TestMergeMatchesSequential(t *testing.T) {
+	raws := envelopes(t, "OUE", 400, 17)
+	whole, _ := freqtask.New(cfg("OUE"))
+	left, _ := freqtask.New(cfg("OUE"))
+	right, _ := freqtask.New(cfg("OUE"))
+	for i, raw := range raws {
+		if err := whole.Add(raw); err != nil {
+			t.Fatal(err)
+		}
+		half := left
+		if i%2 == 1 {
+			half = right
+		}
+		if err := half.Add(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := left.Merge(right.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	a := left.(*freqtask.Aggregator).Oracle().EstimateCounts()
+	b := whole.(*freqtask.Aggregator).Oracle().EstimateCounts()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merged estimates differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestEstimatePayloadAndTopK(t *testing.T) {
+	a, err := freqtask.New(cfg("GRR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic aggregate: value 3 dominates.
+	for i := 0; i < 50; i++ {
+		if err := a.Add(json.RawMessage(`{"mechanism":"GRR","value":3}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Add(json.RawMessage(`{"mechanism":"GRR","value":5}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := a.Estimate(url.Values{"top": []string{"2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res freqtask.EstimateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Domain != 8 || len(res.Counts) != 8 || res.Mechanism != "GRR" {
+		t.Fatalf("estimate %+v", res)
+	}
+	if len(res.Top) != 2 || res.Top[0].Value != 3 || res.Top[1].Value != 5 {
+		t.Fatalf("top-k %+v", res.Top)
+	}
+	// Oversized k clamps; bad k errors.
+	raw, err = a.Estimate(url.Values{"top": []string{"100"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != 8 {
+		t.Fatalf("clamped top-k has %d entries", len(res.Top))
+	}
+	if _, err := a.Estimate(url.Values{"top": []string{"zero"}}); err == nil {
+		t.Fatal("non-numeric top accepted")
+	}
+	if _, err := a.Estimate(url.Values{"top": []string{"0"}}); err == nil {
+		t.Fatal("top=0 accepted")
+	}
+}
+
+func TestAddRejectsMalformed(t *testing.T) {
+	a, err := freqtask.New(cfg("GRR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range []string{
+		`not json`,
+		`42`,
+		`{"mechanism":"OLH","value":1}`,
+		`{"mechanism":"GRR","value":99}`,
+	} {
+		if err := a.Add(json.RawMessage(raw)); err == nil {
+			t.Errorf("malformed report accepted: %s", raw)
+		}
+	}
+	if a.Collected() != 0 {
+		t.Fatalf("rejected reports counted: %d", a.Collected())
+	}
+}

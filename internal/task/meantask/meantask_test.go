@@ -1,0 +1,266 @@
+package meantask_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/url"
+	"reflect"
+	"testing"
+
+	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/meantask"
+)
+
+func duchiCfg() task.Config {
+	return task.Config{Task: task.TypeMean, Mechanism: "duchi", Epsilon: 1}
+}
+
+func harmonyCfg(dim int) task.Config {
+	return task.Config{Task: task.TypeMean, Mechanism: "harmony", Epsilon: 1, Dim: dim}
+}
+
+func estimate(t *testing.T, a task.Aggregator) meantask.EstimateResult {
+	t.Helper()
+	raw, err := a.Estimate(url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res meantask.EstimateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDuchiEndToEnd runs the full client → envelope → aggregator loop
+// and checks the estimate converges on the true mean within the
+// mechanism's own confidence interval (generously scaled).
+func TestDuchiEndToEnd(t *testing.T) {
+	const n, trueMean = 20000, 0.3
+	a, err := meantask.New(duchiCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := meantask.NewClient(duchiCfg(), ldprand.NewSplitMix64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.NewSplitMix64(2)
+	for i := 0; i < n; i++ {
+		x := trueMean + 0.4*(2*ldprand.Float64(src)-1) // in [-0.1, 0.7]
+		raw, err := client.Report([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Collected() != n {
+		t.Fatalf("collected %d want %d", a.Collected(), n)
+	}
+	res := estimate(t, a)
+	if res.Mechanism != "duchi" || res.Dim != 1 || len(res.Means) != 1 {
+		t.Fatalf("estimate %+v", res)
+	}
+	if res.CI95 <= 0 {
+		t.Fatalf("ci95 %v", res.CI95)
+	}
+	if math.Abs(res.Means[0]-trueMean) > 2*res.CI95 {
+		t.Fatalf("estimate %.4f too far from true mean %.4f (ci95 %.4f)", res.Means[0], trueMean, res.CI95)
+	}
+}
+
+// TestHarmonyEndToEnd does the same for the multidimensional path.
+func TestHarmonyEndToEnd(t *testing.T) {
+	const n, dim = 30000, 3
+	truth := []float64{-0.4, 0.1, 0.5}
+	a, err := meantask.New(harmonyCfg(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := meantask.NewClient(harmonyCfg(dim), ldprand.NewSplitMix64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.NewSplitMix64(4)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = truth[j] + 0.3*(2*ldprand.Float64(src)-1)
+		}
+		raw, err := client.Report(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := estimate(t, a)
+	if res.Dim != dim || len(res.Means) != dim {
+		t.Fatalf("estimate %+v", res)
+	}
+	for j := range truth {
+		if math.Abs(res.Means[j]-truth[j]) > 2*res.CI95 {
+			t.Fatalf("coord %d: estimate %.4f truth %.4f (ci95 %.4f)", j, res.Means[j], truth[j], res.CI95)
+		}
+	}
+}
+
+// TestMergeMatchesSequential pins exact mergeability: splitting a
+// report stream across aggregators and merging equals one aggregator
+// absorbing everything, bit for bit.
+func TestMergeMatchesSequential(t *testing.T) {
+	for _, cfg := range []task.Config{duchiCfg(), harmonyCfg(2)} {
+		client, err := meantask.NewClient(cfg, ldprand.NewSplitMix64(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole, _ := meantask.New(cfg)
+		left, _ := meantask.New(cfg)
+		right, _ := meantask.New(cfg)
+		src := ldprand.NewSplitMix64(8)
+		for i := 0; i < 500; i++ {
+			x := make([]float64, client.Dim())
+			for j := range x {
+				x[j] = 2*ldprand.Float64(src) - 1
+			}
+			raw, err := client.Report(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := whole.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+			half := left
+			if i%2 == 1 {
+				half = right
+			}
+			if err := half.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := left.Merge(right.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if left.Collected() != whole.Collected() {
+			t.Fatalf("%s: merged collected %d want %d", cfg.Mechanism, left.Collected(), whole.Collected())
+		}
+		// Splitting the stream reorders the float additions, so the
+		// comparison is up to rounding, not bit-exact (the sums differ
+		// by at most an ulp per merge).
+		got, want := estimate(t, left), estimate(t, whole)
+		for j := range want.Means {
+			if math.Abs(got.Means[j]-want.Means[j]) > 1e-12 {
+				t.Fatalf("%s: merged mean %v, sequential %v", cfg.Mechanism, got.Means, want.Means)
+			}
+		}
+	}
+}
+
+// TestStateRoundTrip pins the checkpoint contract: marshal → fresh
+// aggregator → unmarshal reproduces the estimate bit for bit, and
+// mismatched parameters are refused.
+func TestStateRoundTrip(t *testing.T) {
+	for _, cfg := range []task.Config{duchiCfg(), harmonyCfg(2)} {
+		client, err := meantask.NewClient(cfg, ldprand.NewSplitMix64(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := meantask.New(cfg)
+		src := ldprand.NewSplitMix64(10)
+		for i := 0; i < 200; i++ {
+			x := make([]float64, client.Dim())
+			for j := range x {
+				x[j] = 2*ldprand.Float64(src) - 1
+			}
+			raw, err := client.Report(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blob, err := a.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := meantask.New(cfg)
+		if err := b.UnmarshalState(blob); err != nil {
+			t.Fatal(err)
+		}
+		if b.Collected() != a.Collected() || !reflect.DeepEqual(estimate(t, b), estimate(t, a)) {
+			t.Fatalf("%s: state round trip drifted", cfg.Mechanism)
+		}
+
+		// Wrong epsilon must be refused.
+		otherCfg := cfg
+		otherCfg.Epsilon = 2
+		c, _ := meantask.New(otherCfg)
+		if err := c.UnmarshalState(blob); err == nil {
+			t.Fatalf("%s: state restored onto mismatched epsilon", cfg.Mechanism)
+		}
+	}
+}
+
+// TestAddRejectsMalformed pins the network-input validation: values
+// that are not exactly ±C (or ±C·d), bad coordinates and non-JSON all
+// error instead of panicking or poisoning the sums.
+func TestAddRejectsMalformed(t *testing.T) {
+	a, err := meantask.New(duchiCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C = (e+1)/(e-1) at ε=1 ≈ 2.1639...
+	for _, raw := range []string{
+		`not json`,
+		`{"mechanism":"harmony","coord":0,"value":2.163953413738653}`,
+		`{"mechanism":"duchi","value":1.0}`,
+		`{"mechanism":"duchi","value":0}`,
+		`{"mechanism":"duchi","value":1e308}`,
+	} {
+		if err := a.Add(json.RawMessage(raw)); err == nil {
+			t.Errorf("malformed duchi report accepted: %s", raw)
+		}
+	}
+	h, err := meantask.New(harmonyCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := meantask.NewClient(harmonyCfg(2), ldprand.NewSplitMix64(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := client.Report([]float64{0.5, -0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env meantask.Envelope
+	if err := json.Unmarshal(good, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Coord = 7 // out of range
+	if err := h.Add(mustMarshal(t, env)); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+	env.Coord = 0
+	env.Value *= 2 // wrong magnitude
+	if err := h.Add(mustMarshal(t, env)); err == nil {
+		t.Error("wrong-magnitude harmony value accepted")
+	}
+	if a.Collected() != 0 || h.Collected() != 0 {
+		t.Fatal("rejected reports were counted")
+	}
+}
+
+func mustMarshal(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -1,0 +1,223 @@
+// Package task defines the task-generic aggregation contract the
+// collection stack is built over. The tutorial treats LDP as a family
+// of *tasks* — frequency oracles, numeric means, heavy hitters over
+// huge domains, sketch-based counting — and a production collector
+// serves several of them at once. An Aggregator is the server half of
+// one task: it absorbs privatized report envelopes (raw JSON whose
+// schema the task defines), merges exactly with its peers (every
+// accumulator in the repository is linear, which is what makes sharded
+// aggregation and checkpointing sound), serializes its state for
+// restarts, and answers task-defined estimate queries.
+//
+// New task families register a Factory under their type name; the
+// sharding, persistence and HTTP layers in internal/core are written
+// against this interface only, so a new mechanism family ships as a
+// small adapter package instead of a fork of the serving stack.
+package task
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"sync"
+)
+
+// Task type names of the built-in adapter packages. The names are part
+// of the wire and snapshot formats: collection configs and checkpoint
+// envelopes carry them, so they must stay stable.
+const (
+	TypeFreq   = "freq"
+	TypeMean   = "mean"
+	TypeSketch = "sketch"
+)
+
+// Aggregator is the server half of one LDP task. Implementations are
+// not safe for concurrent use; the sharding layer serializes access
+// per shard and merges.
+type Aggregator interface {
+	// Type returns the task type name the aggregator registers under
+	// (e.g. "freq").
+	Type() string
+	// Add validates one privatized report envelope (raw JSON in the
+	// task's schema) and folds it into the aggregate. Envelopes arrive
+	// from the network: malformed ones must error, never panic.
+	Add(report json.RawMessage) error
+	// AddBatch folds a batch of envelopes, skipping invalid ones. It
+	// returns how many were accepted plus a bounded joined error
+	// describing the rejects (see AddAll).
+	AddBatch(reports []json.RawMessage) (int, error)
+	// Collected returns the number of reports aggregated so far.
+	Collected() int
+	// ReportBits returns the (approximate) size of one report in bits,
+	// the communication-cost axis of the deployed systems.
+	ReportBits() int
+	// Reset discards all aggregated reports.
+	Reset()
+	// Merge folds other's aggregate state into the receiver. The two
+	// aggregators must be the same task type with identical parameters;
+	// anything else is an error. Merge is exact: the merged aggregator
+	// estimates as if it had absorbed every report itself.
+	Merge(other Aggregator) error
+	// Snapshot returns an independent deep copy of the aggregate state,
+	// safe to Merge or estimate from while the original keeps
+	// collecting.
+	Snapshot() Aggregator
+	// MarshalState serializes the aggregate state (tallies plus the
+	// parameters that debias them) as JSON. Accumulators are count or
+	// float64 sum vectors and Go's float64 JSON encoding round-trips
+	// exactly, so Marshal → Unmarshal reproduces estimates bit for bit.
+	MarshalState() ([]byte, error)
+	// UnmarshalState replaces the aggregate state with a previously
+	// marshalled one. The state must come from the same task and
+	// parameters; anything else is an error leaving the receiver
+	// unchanged.
+	UnmarshalState(data []byte) error
+	// Estimate answers one analyst query with a task-defined JSON
+	// response (frequency counts, mean ± CI, per-item sketch counts).
+	// The query carries the URL parameters of GET /estimate; tasks
+	// ignore parameters they do not define.
+	Estimate(query url.Values) (json.RawMessage, error)
+}
+
+// Config is the JSON-serializable configuration of one task instance.
+// It is the union of every built-in task's parameters — which fields
+// are read (and which must be set) depends on Task — so collection
+// configs and snapshots stay one flat, versionable object:
+//
+//	freq:   Mechanism (oracle registry name), Epsilon, Domain
+//	mean:   Mechanism ("duchi" or "harmony"), Epsilon, Dim (harmony)
+//	sketch: Mechanism ("CMS" or "HCMS"), Epsilon, Width, Hashes, SketchSeed
+type Config struct {
+	Task       string  `json:"task,omitempty"` // "" means TypeFreq (pre-task configs)
+	Mechanism  string  `json:"mechanism"`
+	Epsilon    float64 `json:"epsilon"`
+	Domain     int     `json:"domain,omitempty"`
+	Dim        int     `json:"dim,omitempty"`
+	Width      int     `json:"width,omitempty"`
+	Hashes     int     `json:"hashes,omitempty"`
+	SketchSeed uint64  `json:"sketch_seed,omitempty"`
+}
+
+// Type returns the effective task type: Task, or TypeFreq when unset —
+// configs written before the task layer existed carry no tag and were
+// all frequency surveys.
+func (c Config) Type() string {
+	if c.Task == "" {
+		return TypeFreq
+	}
+	return c.Task
+}
+
+// Preparer is an optional Aggregator capability that splits Add into
+// its two halves: Prepare parses and validates one raw envelope into a
+// typed, fold-ready value, and Fold accumulates a prepared value. The
+// point is lock scope — parsing and payload decoding are the expensive
+// part of ingestion, and a sharding layer that detects this capability
+// runs Prepare outside the shard lock and only Fold under it, so
+// concurrent batches contend on vector adds, not on JSON decoding.
+//
+// Contract: Prepare must touch only the aggregator's immutable
+// configuration (never the accumulated state), so it is safe to call
+// without synchronization while other goroutines Fold; a value
+// Prepared by one instance may be Folded into any instance of the same
+// configuration. Fold must accept exactly the values Prepare returns —
+// after a successful Prepare it should not fail (a Fold error is
+// counted as a rejected report).
+type Preparer interface {
+	Prepare(report json.RawMessage) (any, error)
+	Fold(prepared any) error
+}
+
+// Factory builds an empty Aggregator from a configuration, validating
+// it (a factory error is a caller/config error, never a panic).
+type Factory func(cfg Config) (Aggregator, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = make(map[string]Factory)
+)
+
+// Register installs the factory for a task type name. Adapter packages
+// call it from init; registering a duplicate name panics (two adapters
+// claiming one wire name is a build mistake, not a runtime condition).
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("task: Register needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("task: type %q registered twice", name))
+	}
+	factories[name] = f
+}
+
+// New builds an aggregator for cfg, dispatching on cfg.Type().
+func New(cfg Config) (Aggregator, error) {
+	name := cfg.Type()
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("task: unknown task type %q (registered: %v)", name, Types())
+	}
+	return f(cfg)
+}
+
+// Registered reports whether a task type name has a factory.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := factories[name]
+	return ok
+}
+
+// Types returns the registered task type names, sorted.
+func Types() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// maxJoinedErrors bounds how many per-envelope rejections AddAll
+// spells out: a systematically misconfigured client rejects an entire
+// batch, and an unbounded join would build a multi-megabyte error that
+// HTTP handlers then echo into response bodies.
+const maxJoinedErrors = 16
+
+// AddAll folds a batch of envelopes into a, skipping invalid ones, and
+// returns the accepted count plus a joined error (detailed up to
+// maxJoinedErrors rejects, then summarized). Adapters implement
+// AddBatch with it; the sharding layer has its own chunked variant.
+func AddAll(a Aggregator, reports []json.RawMessage) (int, error) {
+	accepted, suppressed := 0, 0
+	var errs []error
+	for i, r := range reports {
+		if err := a.Add(r); err != nil {
+			if len(errs) < maxJoinedErrors {
+				errs = append(errs, fmt.Errorf("envelope %d: %w", i, err))
+			} else {
+				suppressed++
+			}
+			continue
+		}
+		accepted++
+	}
+	if suppressed > 0 {
+		errs = append(errs, fmt.Errorf("and %d more rejected envelopes", suppressed))
+	}
+	return accepted, errors.Join(errs...)
+}
+
+// MergeTypeError reports an attempt to merge across task types or
+// implementations, for adapters to share.
+func MergeTypeError(dst, src Aggregator) error {
+	return fmt.Errorf("task: cannot merge %s (%T) into %s (%T)", src.Type(), src, dst.Type(), dst)
+}

@@ -1,0 +1,182 @@
+package task_test
+
+import (
+	"encoding/json"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+
+	// The adapters under test register themselves on import.
+	_ "repro/internal/task/cmstask"
+	_ "repro/internal/task/freqtask"
+	_ "repro/internal/task/meantask"
+)
+
+// configs returns one valid configuration per registered task family.
+func configs() []task.Config {
+	return []task.Config{
+		{Task: task.TypeFreq, Mechanism: "GRR", Epsilon: 1, Domain: 8},
+		{Task: task.TypeMean, Mechanism: "duchi", Epsilon: 1},
+		{Task: task.TypeMean, Mechanism: "harmony", Epsilon: 1, Dim: 3},
+		{Task: task.TypeSketch, Mechanism: "CMS", Epsilon: 2, Width: 16, Hashes: 4, SketchSeed: 1},
+		{Task: task.TypeSketch, Mechanism: "HCMS", Epsilon: 2, Width: 16, Hashes: 4, SketchSeed: 1},
+	}
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	for _, name := range []string{task.TypeFreq, task.TypeMean, task.TypeSketch} {
+		if !task.Registered(name) {
+			t.Errorf("task type %q not registered", name)
+		}
+	}
+	for _, cfg := range configs() {
+		a, err := task.New(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if a.Type() != cfg.Type() {
+			t.Errorf("config %+v built aggregator of type %q", cfg, a.Type())
+		}
+		if a.Collected() != 0 {
+			t.Errorf("%s: fresh aggregator has %d reports", cfg.Task, a.Collected())
+		}
+		if a.ReportBits() < 1 {
+			t.Errorf("%s/%s: report bits %d", cfg.Task, cfg.Mechanism, a.ReportBits())
+		}
+	}
+}
+
+func TestUntaggedConfigIsFreq(t *testing.T) {
+	// Configs written before the task layer carry no tag; they must
+	// resolve to the frequency task.
+	cfg := task.Config{Mechanism: "OLH", Epsilon: 1, Domain: 16}
+	if cfg.Type() != task.TypeFreq {
+		t.Fatalf("untagged config resolves to %q", cfg.Type())
+	}
+	a, err := task.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Type() != task.TypeFreq {
+		t.Fatalf("untagged config built %q aggregator", a.Type())
+	}
+}
+
+func TestUnknownTaskAndBadConfigs(t *testing.T) {
+	if _, err := task.New(task.Config{Task: "nope", Mechanism: "GRR", Epsilon: 1, Domain: 4}); err == nil {
+		t.Error("unknown task type accepted")
+	}
+	bad := []task.Config{
+		{Task: task.TypeFreq, Mechanism: "NOPE", Epsilon: 1, Domain: 4},
+		{Task: task.TypeFreq, Mechanism: "GRR", Epsilon: 0, Domain: 4},
+		{Task: task.TypeMean, Mechanism: "duchi", Epsilon: -1},
+		{Task: task.TypeMean, Mechanism: "duchi", Epsilon: 1, Dim: -7},
+		{Task: task.TypeMean, Mechanism: "harmony", Epsilon: 1, Dim: 0},
+		{Task: task.TypeMean, Mechanism: "NOPE", Epsilon: 1},
+		{Task: task.TypeSketch, Mechanism: "CMS", Epsilon: 1, Width: 1, Hashes: 4},
+		{Task: task.TypeSketch, Mechanism: "HCMS", Epsilon: 1, Width: 24, Hashes: 4}, // not a power of two
+		{Task: task.TypeSketch, Mechanism: "NOPE", Epsilon: 1, Width: 16, Hashes: 4},
+	}
+	for _, cfg := range bad {
+		if _, err := task.New(cfg); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}
+
+// TestCrossTaskMergeRejected pins that no adapter silently merges a
+// different family's aggregator.
+func TestCrossTaskMergeRejected(t *testing.T) {
+	cfgs := configs()
+	for i, a := range cfgs {
+		for j, b := range cfgs {
+			if i == j {
+				continue
+			}
+			dst, err := task.New(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := task.New(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Merge(src); err == nil {
+				t.Errorf("merged %s/%s into %s/%s without error", b.Task, b.Mechanism, a.Task, a.Mechanism)
+			}
+		}
+	}
+}
+
+// TestCrossTaskStateRejected pins that no adapter restores another
+// family's (or mechanism's) state blob.
+func TestCrossTaskStateRejected(t *testing.T) {
+	cfgs := configs()
+	for i, a := range cfgs {
+		for j, b := range cfgs {
+			if i == j {
+				continue
+			}
+			dst, err := task.New(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := task.New(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := src.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.UnmarshalState(blob); err == nil {
+				t.Errorf("%s/%s restored state of %s/%s", a.Task, a.Mechanism, b.Task, b.Mechanism)
+			}
+		}
+	}
+}
+
+// TestEstimateEmptyAggregators checks every adapter answers an
+// estimate query before any report arrives (fresh collections are
+// polled immediately in practice) with valid JSON.
+func TestEstimateEmptyAggregators(t *testing.T) {
+	for _, cfg := range configs() {
+		a, err := task.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := a.Estimate(url.Values{"item": []string{"x"}})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cfg.Task, cfg.Mechanism, err)
+		}
+		if !json.Valid(raw) {
+			t.Fatalf("%s/%s: estimate is not valid JSON: %s", cfg.Task, cfg.Mechanism, raw)
+		}
+	}
+}
+
+// TestAddAllBoundsJoinedError pins the bounded reject reporting shared
+// by the adapters' AddBatch implementations.
+func TestAddAllBoundsJoinedError(t *testing.T) {
+	a, err := task.New(task.Config{Task: task.TypeFreq, Mechanism: "GRR", Epsilon: 1, Domain: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]json.RawMessage, 100)
+	for i := range batch {
+		batch[i] = json.RawMessage(`{"mechanism":"GRR","value":99}`)
+	}
+	accepted, err := a.AddBatch(batch)
+	if accepted != 0 || err == nil {
+		t.Fatalf("accepted %d, err %v", accepted, err)
+	}
+	msg := err.Error()
+	if n := strings.Count(msg, "envelope "); n != 16 {
+		t.Fatalf("%d detailed errors, want 16", n)
+	}
+	if !strings.Contains(msg, "and 84 more rejected envelopes") {
+		t.Fatalf("missing suppression summary in %q", msg)
+	}
+}
