@@ -12,6 +12,19 @@
 //	-task sketch arbitrary string items (words, URLs); mechanisms
 //	             CMS, HCMS with -width/-hashes/-sketch-seed matching
 //	             the server's collection
+//	-task hh     unsigned integer items over a huge bit-string domain;
+//	             drives the interactive PEM heavy-hitter protocol (see
+//	             below)
+//
+// The hh task is interactive: the client reads all values up front,
+// splits them into one user group per round, and then follows the
+// server's protocol — poll GET .../frontier for the current round and
+// prefix length, privatize each group member's prefix at that length,
+// report with the round tag, and close the round via POST .../advance
+// (disable with -hh-advance=false when the server auto-advances on an
+// advance_quota). Epsilon, bits and levels all come from the frontier,
+// so the only required flags are -server and -collection; when the
+// protocol completes, the discovered heavy hitters are printed.
 //
 // With -batch > 1 the client buffers that many privatized envelopes
 // and ships them in one POST /report/batch request, which is how a
@@ -29,6 +42,7 @@
 //	seq 0 31 | ldpclient -collection study-a -mechanism GRR -epsilon 1 -domain 32
 //	printf '0.23\n-0.7\n' | ldpclient -collection screen-time -task mean -epsilon 1
 //	printf 'hello\nworld\n' | ldpclient -collection words -task sketch -epsilon 2 -width 256 -hashes 16
+//	seq 1000 4999 | ldpclient -collection new-words -task hh -batch 200
 package main
 
 import (
@@ -48,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/task"
 	"repro/internal/task/cmstask"
+	"repro/internal/task/hhtask"
 	"repro/internal/task/meantask"
 )
 
@@ -68,6 +83,7 @@ func main() {
 		sketchSeed = flag.Uint64("sketch-seed", 0, "sketch: shared hash seed (must match the collection)")
 		batch      = flag.Int("batch", 1, "envelopes per request (1 = POST /report per value; oversized batches auto-flush early to fit the server's body cap)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		hhAdvance  = flag.Bool("hh-advance", true, "hh: close each round via POST .../advance after reporting its group (disable when the server auto-advances on advance_quota)")
 	)
 	flag.Parse()
 	if *batch < 1 {
@@ -78,13 +94,23 @@ func main() {
 	if *collection != "" {
 		base += "/collections/" + url.PathEscape(*collection)
 	}
+	httpClient := &http.Client{Timeout: *timeout}
+
+	if *taskName == task.TypeHH {
+		// The hh protocol is round-structured, not line-streamed: it
+		// has its own driver.
+		if err := runHH(httpClient, base, *batch, *hhAdvance); err != nil {
+			fmt.Fprintln(os.Stderr, "ldpclient:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	privatize, err := newPrivatizer(*taskName, *mechanism, *epsilon, *domain, *dim, *width, *hashes, *sketchSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ldpclient:", err)
 		os.Exit(2)
 	}
-	httpClient := &http.Client{Timeout: *timeout}
 
 	// Flush early when the encoded batch would approach the server's
 	// 8 MiB body cap — wide envelopes (SHE at large domains, CMS at
@@ -215,8 +241,147 @@ func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, wid
 			return client.Report([]byte(line))
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown task %q (have freq, mean, sketch)", taskName)
+		return nil, fmt.Errorf("unknown task %q (have freq, mean, sketch, hh)", taskName)
 	}
+}
+
+// runHH drives the interactive PEM heavy-hitter protocol end to end:
+// values (one unsigned integer per line on stdin) are split into one
+// user group per round, and each round's group is privatized against
+// the frontier the server currently publishes. Because the frontier is
+// refetched before every round, the driver picks the protocol up
+// wherever the server stands — including a server that restarted from
+// a mid-protocol checkpoint.
+func runHH(c *http.Client, base string, batchSize int, advance bool) error {
+	var values []uint64
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return fmt.Errorf("hh value %q: %w", line, err)
+		}
+		values = append(values, v)
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("stdin: %w", err)
+	}
+	if len(values) == 0 {
+		return fmt.Errorf("no values on stdin")
+	}
+
+	f, err := fetchFrontier(c, base)
+	if err != nil {
+		return err
+	}
+	n, sent, failed := len(values), 0, 0
+	for !f.Done {
+		reporter, err := hhtask.NewClient(f.Epsilon, f.Bits, f.Levels, nil)
+		if err != nil {
+			return fmt.Errorf("frontier %+v: %w", f, err)
+		}
+		// One disjoint user group per round: each user spends its full
+		// ε on exactly one report in exactly one round.
+		group := values[f.Round*n/f.Levels : (f.Round+1)*n/f.Levels]
+		pending := make([]json.RawMessage, 0, min(batchSize, len(group)+1))
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			got, err := postBatch(c, base, pending)
+			sent += got
+			failed += len(pending) - got
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ldpclient: round %d: %v\n", f.Round, err)
+			}
+			pending = pending[:0]
+		}
+		for _, v := range group {
+			env, err := reporter.Report(v, f.Round)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ldpclient: skipping %d: %v\n", v, err)
+				failed++
+				continue
+			}
+			pending = append(pending, env)
+			if len(pending) >= batchSize {
+				flush()
+			}
+		}
+		flush()
+		fmt.Printf("ldpclient: round %d/%d: reported %d users at prefix length %d\n",
+			f.Round+1, f.Levels, len(group), f.PrefixLen)
+		prev := f.Round
+		if advance {
+			// Conditional on the round we reported into: if another
+			// driver (or the server's quota) closed it first, the 409
+			// is success for our purposes — the frontier refetch below
+			// picks up the new round.
+			if err := postAdvance(c, base, prev); err != nil {
+				return fmt.Errorf("advance after round %d: %w", prev, err)
+			}
+		}
+		if f, err = fetchFrontier(c, base); err != nil {
+			return err
+		}
+		if !f.Done && f.Round == prev {
+			return fmt.Errorf("round %d did not advance — enable -hh-advance or configure the collection's advance_quota", prev)
+		}
+	}
+	fmt.Printf("ldpclient: protocol done after %d rounds; sent %d reports (%d failed)\n", f.Levels, sent, failed)
+	for _, h := range f.Hits {
+		fmt.Printf("ldpclient: heavy hitter %d (count ≈ %.0f)\n", h.Value, h.Count)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d reports failed", failed)
+	}
+	return nil
+}
+
+// fetchFrontier reads the collection's current hh frontier.
+func fetchFrontier(c *http.Client, base string) (hhtask.Frontier, error) {
+	resp, err := c.Get(base + "/frontier")
+	if err != nil {
+		return hhtask.Frontier{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return hhtask.Frontier{}, fmt.Errorf("frontier: server returned %s (reading body: %v)", resp.Status, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return hhtask.Frontier{}, fmt.Errorf("frontier: server returned %s: %s", resp.Status, bodySnippet(raw))
+	}
+	var fr core.FrontierResponse
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		return hhtask.Frontier{}, fmt.Errorf("frontier: server returned %s: %s", resp.Status, bodySnippet(raw))
+	}
+	var f hhtask.Frontier
+	if err := json.Unmarshal(fr.Frontier, &f); err != nil {
+		return hhtask.Frontier{}, fmt.Errorf("frontier payload: %w", err)
+	}
+	return f, nil
+}
+
+// postAdvance closes the given round, conditionally: the server
+// advances only if the round is still current, so a round another
+// driver already closed comes back 409 — which is not a failure here,
+// just someone else finishing the job first.
+func postAdvance(c *http.Client, base string, round int) error {
+	body := fmt.Sprintf(`{"round":%d}`, round)
+	resp, err := c.Post(base+"/advance", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
+	}
+	return nil
 }
 
 func post(c *http.Client, url string, env json.RawMessage) error {

@@ -8,10 +8,20 @@
 // One server hosts many concurrent surveys of any registered task
 // family: POST /collections creates a named collection with its own
 // task type ("freq" frequency oracles, "mean" numeric means, "sketch"
-// private count sketches), mechanism and privacy parameters, and
+// private count sketches, "hh" interactive heavy-hitter discovery),
+// mechanism and privacy parameters, and
 // /collections/{name}/report|estimate|status address it. The flat
 // routes remain wired to the "default" collection (always a frequency
 // survey), configured by the -mechanism/-epsilon/-domain flags.
+//
+// Phased tasks like "hh" run an interactive multi-round protocol: GET
+// /collections/{name}/frontier publishes the current round's state
+// (the prefix length to report and the surviving prefixes), clients
+// report against it with a round tag, and POST
+// /collections/{name}/advance — or an "advance_quota" in the creation
+// body, which advances automatically every that-many reports — closes
+// the round. Reports tagged with a stale round are answered 409 so the
+// client refetches the frontier.
 //
 // With -state-dir set, every collection is checkpointed to a JSON
 // snapshot in that directory (atomically, write-temp-then-rename)
@@ -30,9 +40,12 @@
 //	curl -X POST localhost:8080/collections -d '{"name":"study-a","mechanism":"GRR","epsilon":1,"domain":32}'
 //	curl -X POST localhost:8080/collections -d '{"name":"screen-time","task":"mean","mechanism":"duchi","epsilon":1}'
 //	curl -X POST localhost:8080/collections -d '{"name":"words","task":"sketch","mechanism":"CMS","epsilon":2,"width":256,"hashes":16}'
+//	curl -X POST localhost:8080/collections -d '{"name":"new-words","task":"hh","epsilon":2,"bits":16,"levels":4,"k":8,"advance_quota":500}'
 //	curl -X POST localhost:8080/collections/study-a/report -d '{"mechanism":"GRR","value":3}'
 //	curl localhost:8080/collections/study-a/estimate
 //	curl 'localhost:8080/collections/words/estimate?item=hello&item=world'
+//	curl localhost:8080/collections/new-words/frontier
+//	curl -X POST localhost:8080/collections/new-words/advance
 package main
 
 import (
@@ -55,6 +68,7 @@ import (
 	// family linked here is creatable via POST /collections and
 	// restorable from snapshots. (The freq adapter rides in with core.)
 	_ "repro/internal/task/cmstask"
+	_ "repro/internal/task/hhtask"
 	_ "repro/internal/task/meantask"
 )
 

@@ -16,6 +16,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/task"
 )
 
 // snapshotExt is the suffix of snapshot files in the state directory;
@@ -32,19 +34,32 @@ const snapshotExt = ".json"
 //	             state format is the oracle state byte for byte.
 //	2          — task-tagged checkpoints: the config names a task type
 //	             and the state blob is that task's adapter state.
+//	3          — phase-aware checkpoints: for phased (multi-round)
+//	             tasks the envelope additionally records the round
+//	             number and published frontier the state was captured
+//	             at, cross-checked on restore so a protocol never
+//	             silently resumes at the wrong round. One-shot tasks
+//	             carry neither field, and version-2 snapshots restore
+//	             unchanged (the state formats are identical).
 //
 // Versions above the current one are refused at load: a newer build's
 // snapshot may carry semantics this build would silently misread.
-const SnapshotVersion = 2
+const SnapshotVersion = 3
 
 // CollectionSnapshot is the on-disk format of one collection: its
 // configuration (enough to rebuild the aggregator, task tag included)
 // and the serialized merged task state (enough to rebuild the counts).
+// For phased tasks Round and Frontier record the protocol position the
+// state was captured at — Frontier is advisory (operators can read the
+// protocol's standing straight off the file), Round is verified
+// against the restored state at load.
 type CollectionSnapshot struct {
-	Version int              `json:"version,omitempty"`
-	Name    string           `json:"name"`
-	Config  CollectionConfig `json:"config"`
-	State   json.RawMessage  `json:"state"`
+	Version  int              `json:"version,omitempty"`
+	Name     string           `json:"name"`
+	Config   CollectionConfig `json:"config"`
+	State    json.RawMessage  `json:"state"`
+	Round    int              `json:"round,omitempty"`
+	Frontier json.RawMessage  `json:"frontier,omitempty"`
 }
 
 // Store persists collection snapshots in one directory, one file per
@@ -166,11 +181,26 @@ func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
 		return nil
 	}
 
-	state, err := c.agg.MarshalState()
+	// State, round and frontier all come from ONE merged view: a round
+	// advance racing the checkpoint lands entirely in this snapshot or
+	// entirely in the next, never as a state from round r+1 under a
+	// round-r envelope.
+	merged, err := c.agg.MergedCached()
 	if err != nil {
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
-	blob, err := json.Marshal(CollectionSnapshot{Version: SnapshotVersion, Name: c.name, Config: c.cfg, State: state})
+	state, err := merged.MarshalState()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
+	}
+	snap := CollectionSnapshot{Version: SnapshotVersion, Name: c.name, Config: c.cfg, State: state}
+	if p, ok := merged.(task.Phased); ok {
+		snap.Round = p.Round()
+		if snap.Frontier, err = p.Frontier(); err != nil {
+			return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
+		}
+	}
+	blob, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
@@ -327,6 +357,16 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 				reg.Delete(name) // don't leave a half-restored collection serving
 				return restored, fmt.Errorf("core: restore %q: %w", name, err)
 			}
+		}
+		// Cross-check the envelope's recorded round against the
+		// restored state: a mismatch means the file was assembled from
+		// two different protocol positions (hand-edited, or written by
+		// a buggy tool) and resuming it would split users across
+		// rounds.
+		if c.agg.Phased() && snap.Round != c.agg.Round() {
+			reg.Delete(name)
+			return restored, fmt.Errorf("core: restore %q: snapshot envelope says round %d but the state restores to round %d",
+				name, snap.Round, c.agg.Round())
 		}
 		st.mu.Lock()
 		st.saved[name] = c.agg.Epoch()

@@ -35,6 +35,10 @@ const maxCollectionName = 128
 type CollectionConfig struct {
 	task.Config
 	Shards int `json:"shards,omitempty"` // 0 = one per core
+	// AdvanceQuota auto-advances a phased collection's round once it
+	// has accepted this many reports (0 = rounds advance only via
+	// POST .../advance). One-shot tasks ignore it.
+	AdvanceQuota int `json:"advance_quota,omitempty"`
 }
 
 // Params returns the frequency-style privacy half of the configuration.

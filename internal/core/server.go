@@ -98,6 +98,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /report/batch", s.withCollection(s.handleReportBatch))
 	mux.HandleFunc("GET /estimate", s.withCollection(s.handleEstimate))
 	mux.HandleFunc("GET /status", s.withCollection(s.handleStatus))
+	mux.HandleFunc("GET /frontier", s.withCollection(s.handleFrontier))
+	mux.HandleFunc("POST /advance", s.withCollection(s.handleAdvance))
 	// Collection management.
 	mux.HandleFunc("POST /collections", s.handleCollectionCreate)
 	mux.HandleFunc("GET /collections", s.handleCollectionList)
@@ -107,6 +109,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /collections/{name}/report/batch", s.withCollection(s.handleReportBatch))
 	mux.HandleFunc("GET /collections/{name}/estimate", s.withCollection(s.handleEstimate))
 	mux.HandleFunc("GET /collections/{name}/status", s.withCollection(s.handleStatus))
+	// Interactive (phased) protocol plane.
+	mux.HandleFunc("GET /collections/{name}/frontier", s.withCollection(s.handleFrontier))
+	mux.HandleFunc("POST /collections/{name}/advance", s.withCollection(s.handleAdvance))
 	return mux
 }
 
@@ -171,9 +176,18 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collec
 		return
 	}
 	if err := c.agg.Add(raw); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		if errors.Is(err, task.ErrWrongRound) {
+			// The client's protocol view is stale (the round advanced
+			// under it), not malformed: 409 tells it to refetch the
+			// frontier and re-report, where a 400 would tell it to
+			// "fix" a perfectly well-formed envelope.
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
+	s.maybeAutoAdvance(c)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -194,13 +208,53 @@ func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *C
 		return
 	}
 	accepted, err := c.agg.AddBatch(batch)
+	if accepted > 0 {
+		s.maybeAutoAdvance(c)
+	}
 	resp := BatchResponse{Accepted: accepted, Rejected: len(batch) - accepted}
 	status := http.StatusAccepted
 	if err != nil {
 		resp.Error = err.Error()
 		status = http.StatusBadRequest
+		if accepted == 0 && errors.Is(err, task.ErrWrongRound) {
+			// The whole batch was privatized against a stale round:
+			// signal "refetch the frontier", as the single-report
+			// route does.
+			status = http.StatusConflict
+		}
 	}
 	writeJSON(w, status, resp)
+}
+
+// maybeAutoAdvance closes the collection's round when its configured
+// per-round report quota has been met. Failures are logged, never
+// surfaced to the reporting client — its report was accepted; the
+// round boundary is the server's business.
+func (s *Service) maybeAutoAdvance(c *Collection) {
+	if c.cfg.AdvanceQuota <= 0 || !c.agg.Phased() {
+		return
+	}
+	advanced, err := c.agg.MaybeAdvance(c.cfg.AdvanceQuota)
+	if err != nil {
+		log.Printf("core: auto-advance of collection %q: %v", c.name, err)
+		return
+	}
+	if advanced {
+		s.checkpointAfterAdvance(c)
+	}
+}
+
+// checkpointAfterAdvance persists the new round immediately: round
+// boundaries are the durability points of an interactive protocol — a
+// crash after an unpersisted advance would resume the old round and
+// re-score users into it.
+func (s *Service) checkpointAfterAdvance(c *Collection) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Save(s.reg, c); err != nil {
+		log.Printf("core: checkpoint after advance of collection %q: %v", c.name, err)
+	}
 }
 
 // EstimateResponse is the JSON body of /estimate: collection metadata
@@ -217,16 +271,17 @@ type EstimateResponse struct {
 }
 
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request, c *Collection) {
-	merged, err := c.agg.MergedCached()
+	// Served through the per-query response cache: repeated reads of
+	// one query against an unchanged collection re-serialize nothing.
+	est, reports, err := c.agg.EstimateCached(r.URL.Query())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	est, err := merged.Estimate(r.URL.Query())
-	if err != nil {
-		// Task estimate errors are query errors (bad ?top=, ...): the
-		// analyst can fix the request.
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// Task estimate errors are query errors (bad ?top=, ...) the
+		// analyst can fix; merge failures are the server's problem.
+		status := http.StatusBadRequest
+		if IsInternal(err) {
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
@@ -235,9 +290,101 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request, c *Coll
 		Mechanism:  c.cfg.Mechanism,
 		Epsilon:    c.cfg.Epsilon,
 		Shards:     c.agg.Shards(),
-		Reports:    merged.Collected(),
+		Reports:    reports,
 		Estimate:   est,
 	})
+}
+
+// FrontierResponse is the JSON body of GET /frontier and of a
+// successful POST /advance: the collection's protocol position plus
+// the task-defined frontier payload clients privatize against.
+type FrontierResponse struct {
+	Collection   string          `json:"collection"`
+	Task         string          `json:"task"`
+	Round        int             `json:"round"`
+	Phase        string          `json:"phase"`
+	Reports      int             `json:"reports"`
+	RoundReports int             `json:"round_reports"`
+	Frontier     json.RawMessage `json:"frontier"`
+}
+
+// phaseOf names a phased collection's protocol phase for /status and
+// /frontier bodies.
+func phaseOf(agg *ShardedAggregator) string {
+	if agg.Done() {
+		return "done"
+	}
+	return "collecting"
+}
+
+func frontierResponseFor(c *Collection) (FrontierResponse, error) {
+	frontier, err := c.agg.Frontier()
+	if err != nil {
+		return FrontierResponse{}, err
+	}
+	return FrontierResponse{
+		Collection:   c.name,
+		Task:         c.agg.TaskType(),
+		Round:        c.agg.Round(),
+		Phase:        phaseOf(c.agg),
+		Reports:      c.agg.Collected(),
+		RoundReports: c.agg.RoundReports(),
+		Frontier:     frontier,
+	}, nil
+}
+
+func (s *Service) handleFrontier(w http.ResponseWriter, r *http.Request, c *Collection) {
+	resp, err := frontierResponseFor(c)
+	if errors.Is(err, ErrNotPhased) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AdvanceRequest is the optional JSON body of POST /advance. Round,
+// when set, makes the advance conditional: the round is closed only if
+// it is still the current one, so two drivers posting "close round 2"
+// together advance the protocol once — the loser gets 409 and
+// refetches the frontier — instead of silently burning round 3 empty.
+type AdvanceRequest struct {
+	Round *int `json:"round"`
+}
+
+func (s *Service) handleAdvance(w http.ResponseWriter, r *http.Request, c *Collection) {
+	expect := -1
+	if r.ContentLength != 0 {
+		var req AdvanceRequest
+		if !decodeBody(w, r, maxControlBytes, &req, "advance request") {
+			return
+		}
+		if req.Round != nil {
+			expect = *req.Round
+		}
+	}
+	if err := c.agg.AdvanceExpecting(expect); err != nil {
+		if errors.Is(err, ErrNotPhased) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// The other client-visible failures — closing a round that is
+		// no longer current, advancing a completed protocol — are a
+		// stale view of the collection, same family as a wrong-round
+		// report.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.checkpointAfterAdvance(c)
+	resp, err := frontierResponseFor(c)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatusResponse is the JSON body of /status and one element of the
@@ -255,10 +402,14 @@ type StatusResponse struct {
 	Shards     int     `json:"shards"`
 	Reports    int     `json:"reports"`
 	ReportBits int     `json:"report_bits"`
+	// Round and Phase are set for phased (multi-round) collections
+	// only; Round is a pointer so round 0 still serializes.
+	Round *int   `json:"round,omitempty"`
+	Phase string `json:"phase,omitempty"`
 }
 
 func statusFor(c *Collection) StatusResponse {
-	return StatusResponse{
+	st := StatusResponse{
 		Collection: c.name,
 		Task:       c.agg.TaskType(),
 		Mechanism:  c.cfg.Mechanism,
@@ -271,6 +422,12 @@ func statusFor(c *Collection) StatusResponse {
 		Reports:    c.agg.Collected(),
 		ReportBits: c.agg.ReportBits(),
 	}
+	if c.agg.Phased() {
+		round := c.agg.Round()
+		st.Round = &round
+		st.Phase = phaseOf(c.agg)
+	}
+	return st
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, c *Collection) {
@@ -302,6 +459,8 @@ const (
 	maxCreateDim     = 1 << 12
 	maxCreateWidth   = 1 << 16
 	maxCreateHashes  = 1 << 10
+	maxCreateK       = 1 << 12
+	maxCreateBudget  = 1 << 13
 	maxCreateShards  = 64
 	maxCreateEpsilon = 32
 	maxCreateCells   = 1 << 20
@@ -328,11 +487,20 @@ func validateCreateConfig(cfg CollectionConfig) error {
 	if cfg.Hashes > maxCreateHashes {
 		return fmt.Errorf("core: hashes %d exceeds the API limit %d", cfg.Hashes, maxCreateHashes)
 	}
+	if cfg.K > maxCreateK {
+		return fmt.Errorf("core: k %d exceeds the API limit %d", cfg.K, maxCreateK)
+	}
+	if cfg.Budget > maxCreateBudget {
+		return fmt.Errorf("core: budget %d exceeds the API limit %d", cfg.Budget, maxCreateBudget)
+	}
 	if cfg.Shards > maxCreateShards {
 		return fmt.Errorf("core: shards %d exceeds the API limit %d", cfg.Shards, maxCreateShards)
 	}
 	if cfg.Epsilon > maxCreateEpsilon {
 		return fmt.Errorf("core: epsilon %g exceeds the API limit %d", cfg.Epsilon, maxCreateEpsilon)
+	}
+	if cfg.AdvanceQuota < 0 {
+		return fmt.Errorf("core: advance_quota must be non-negative, got %d", cfg.AdvanceQuota)
 	}
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -344,6 +512,12 @@ func validateCreateConfig(cfg CollectionConfig) error {
 		perShard = cfg.Dim
 	case task.TypeSketch:
 		perShard = cfg.Width * cfg.Hashes
+	case task.TypeHH:
+		// The hh accumulator is its report list (proportional to
+		// traffic, like every task's collected total, not to the
+		// config); the per-round candidate-set blow-up is bounded by
+		// the adapter at construction.
+		perShard = 0
 	}
 	if cells := perShard * shards; cells > maxCreateCells {
 		return fmt.Errorf("core: accumulator size × shards = %d tally cells exceeds the API limit %d", cells, maxCreateCells)

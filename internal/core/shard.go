@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/url"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,10 @@ import (
 	"repro/internal/hashutil"
 	"repro/internal/task"
 )
+
+// ErrNotPhased is returned by the phase surface (Frontier, Advance) of
+// a collection whose task is one-shot; HTTP maps it to a client error.
+var ErrNotPhased = errors.New("core: collection task is not phased")
 
 // ShardedAggregator spreads privatized report envelopes across N
 // independent per-shard task aggregators behind striped locks, so
@@ -66,6 +71,47 @@ type ShardedAggregator struct {
 	cacheMu     sync.Mutex
 	cached      task.Aggregator // merged snapshot, read-only once published
 	cachedEpoch uint64
+
+	// estMu guards the per-query estimate-response cache: serialized
+	// estimate payloads keyed by canonicalized query string, valid for
+	// one ingestion epoch, so analysts polling the same ?top=k or
+	// ?item= query against an idle collection re-serialize nothing.
+	estMu    sync.Mutex
+	estCache map[string]estEntry
+	estEpoch uint64
+	estHits  atomic.Uint64 // cache hits, for tests/observability
+
+	// phased is set when the task implements task.Phased — the
+	// collection runs an interactive multi-round protocol and this
+	// layer coordinates its round boundaries across shards.
+	phased bool
+	// advanceMu serializes round advances (manual and quota-driven),
+	// so two requests crossing the quota together advance one round,
+	// not two.
+	advanceMu sync.Mutex
+	// phaseMu excludes shard-walking readers (Merged) from the window
+	// in which an advance rewrites every shard: without it a reader
+	// could combine one shard from round r with another from r+1 — a
+	// torn round that would fail the merge and, worse, fail a
+	// checkpoint racing the advance.
+	phaseMu sync.RWMutex
+	// round/done/roundStart mirror the shards' phase so /status and
+	// quota checks never take a shard lock. roundStart is the value of
+	// collected when the current round opened; collected-roundStart is
+	// the round's report count. (Because collected is advanced after
+	// the owning shard lock is released, a report racing the advance
+	// can be attributed to the next round's count — a one-report drift
+	// in the quota arithmetic, never in the aggregate itself.)
+	round      atomic.Int64
+	done       atomic.Bool
+	roundStart atomic.Int64
+}
+
+// estEntry is one cached estimate response plus the report count the
+// estimate was computed over (served alongside it by /estimate).
+type estEntry struct {
+	payload json.RawMessage
+	reports int
 }
 
 // shard pairs one task aggregator with its stripe lock. Padding would
@@ -98,6 +144,7 @@ func NewShardedAggregator(cfg task.Config, shards int) (*ShardedAggregator, erro
 	if p, ok := a.shards[0].agg.(task.Preparer); ok {
 		a.prepare = p.Prepare
 	}
+	_, a.phased = a.shards[0].agg.(task.Phased)
 	return a, nil
 }
 
@@ -302,6 +349,13 @@ func (a *ShardedAggregator) Merged() (task.Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The phase read-lock keeps the walk on one side of any concurrent
+	// round advance: shard locks are taken one at a time here, and for
+	// a phased task a walk interleaved with the advance's all-shard
+	// rewrite would pair shards from different rounds — an unmergeable
+	// (and uncheckpointable) torn view.
+	a.phaseMu.RLock()
+	defer a.phaseMu.RUnlock()
 	for _, s := range a.shards {
 		s.mu.Lock()
 		snap := s.agg.Snapshot()
@@ -344,15 +398,88 @@ func (a *ShardedAggregator) MergedCached() (task.Aggregator, error) {
 	return merged, nil
 }
 
+// maxEstCacheEntries bounds the per-query estimate cache: an analyst
+// sweeping a parameter (?item=a, ?item=b, ...) within one epoch would
+// otherwise grow the map without limit. Past the cap the whole cache
+// resets — by then the hot queries have been re-cached anyway.
+const maxEstCacheEntries = 256
+
+// internalError marks a server-side failure crossing the Estimate
+// surface — a shard merge gone wrong, not a bad analyst query — so the
+// HTTP layer answers 500 instead of blaming the request with 400.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+func (e *internalError) Unwrap() error { return e.err }
+
+// IsInternal reports whether an error from the estimate surface is a
+// server-side failure rather than a query error.
+func IsInternal(err error) bool {
+	var ie *internalError
+	return errors.As(err, &ie)
+}
+
 // Estimate answers one task-defined analyst query against the cached
 // merged view.
 func (a *ShardedAggregator) Estimate(query map[string][]string) (json.RawMessage, error) {
+	est, _, err := a.EstimateCached(query)
+	return est, err
+}
+
+// EstimateCached answers one analyst query, returning the serialized
+// task estimate plus the report count it was computed over. Responses
+// are cached by (ingestion epoch, canonicalized query string):
+// repeated reads of the same query against an unchanged collection —
+// the common analyst polling pattern — reuse the serialized payload
+// instead of re-ranking and re-encoding it on every hit. Any state
+// mutation (a report, a reset, a round advance) moves the epoch and
+// invalidates the cache wholesale.
+func (a *ShardedAggregator) EstimateCached(query map[string][]string) (json.RawMessage, int, error) {
+	// url.Values.Encode sorts by key, so query-string permutations of
+	// one logical query share a cache entry.
+	key := url.Values(query).Encode()
+	epoch := a.epoch.Load()
+	a.estMu.Lock()
+	if a.estEpoch == epoch {
+		if e, ok := a.estCache[key]; ok {
+			a.estHits.Add(1)
+			a.estMu.Unlock()
+			return e.payload, e.reports, nil
+		}
+	}
+	a.estMu.Unlock()
+
 	merged, err := a.MergedCached()
 	if err != nil {
-		return nil, err
+		return nil, 0, &internalError{err} // shard state, not the query
 	}
-	return merged.Estimate(query)
+	est, err := merged.Estimate(query)
+	if err != nil {
+		return nil, 0, err // task query error: the analyst can fix it
+	}
+	reports := merged.Collected()
+
+	a.estMu.Lock()
+	// Entries are stored under the epoch read before the merge: the
+	// merge may have absorbed newer reports, making the entry fresher
+	// than its key claims, never staler. A concurrent query that
+	// already advanced the cache past our epoch wins — overwriting a
+	// newer cache generation with an older key would only waste it.
+	if epoch >= a.estEpoch {
+		if a.estEpoch != epoch || a.estCache == nil || len(a.estCache) >= maxEstCacheEntries {
+			a.estCache = make(map[string]estEntry)
+			a.estEpoch = epoch
+		}
+		a.estCache[key] = estEntry{payload: est, reports: reports}
+	}
+	a.estMu.Unlock()
+	return est, reports, nil
 }
+
+// EstimateCacheHits returns how many estimate reads were served from
+// the per-query response cache, exposed so tests (and curious
+// operators) can verify it is working.
+func (a *ShardedAggregator) EstimateCacheHits() uint64 { return a.estHits.Load() }
 
 // Epoch returns the current ingestion epoch: a counter advanced by
 // every accepted report, reset and restore. Equal epochs across two
@@ -379,7 +506,10 @@ func (a *ShardedAggregator) MarshalState() ([]byte, error) {
 // aggregator, which must be empty (restore happens at startup, before
 // ingestion begins — restoring over live data would double-count).
 // The whole restored aggregate lands in shard 0; subsequent ingestion
-// spreads over all shards as usual, and merging re-combines both.
+// spreads over all shards as usual, and merging re-combines both. For
+// a phased task the other shards additionally adopt shard 0's round
+// position, so every shard validates report rounds identically from
+// the first post-restore request.
 func (a *ShardedAggregator) RestoreState(data []byte) error {
 	if a.Collected() != 0 || a.collectedWalk() != 0 {
 		return errors.New("core: cannot restore state into a non-empty aggregator")
@@ -392,12 +522,29 @@ func (a *ShardedAggregator) RestoreState(data []byte) error {
 	if err != nil {
 		return err
 	}
+	if a.phased {
+		p := s.agg.(task.Phased)
+		for _, o := range a.shards[1:] {
+			o.mu.Lock()
+			err := o.agg.(task.Phased).AdoptPhase(s.agg)
+			o.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		a.round.Store(int64(p.Round()))
+		a.done.Store(p.Done())
+		// Reports of the in-flight round are part of the restored
+		// total; the rest belong to completed rounds.
+		a.roundStart.Store(int64(restored - p.RoundReports()))
+	}
 	a.collected.Store(int64(restored))
 	a.epoch.Add(1)
 	return nil
 }
 
-// Reset discards all aggregated reports in every shard.
+// Reset discards all aggregated reports in every shard; a phased task
+// restarts its protocol from round 0.
 func (a *ShardedAggregator) Reset() {
 	for _, s := range a.shards {
 		s.mu.Lock()
@@ -405,5 +552,153 @@ func (a *ShardedAggregator) Reset() {
 		s.mu.Unlock()
 	}
 	a.collected.Store(0)
+	a.round.Store(0)
+	a.done.Store(false)
+	a.roundStart.Store(0)
 	a.epoch.Add(1)
+}
+
+// Phased reports whether the collection's task runs an interactive
+// multi-round protocol (implements task.Phased).
+func (a *ShardedAggregator) Phased() bool { return a.phased }
+
+// Round returns the phased task's current round (0 for one-shot
+// tasks), from an atomic mirror — no shard lock is taken, so /status
+// never contends with ingestion.
+func (a *ShardedAggregator) Round() int { return int(a.round.Load()) }
+
+// Done reports whether a phased task has completed all rounds.
+func (a *ShardedAggregator) Done() bool { return a.done.Load() }
+
+// RoundReports returns how many reports the current round has
+// accepted, the quantity auto-advance quotas compare against.
+func (a *ShardedAggregator) RoundReports() int {
+	return int(a.collected.Load() - a.roundStart.Load())
+}
+
+// Frontier returns the phased task's published round state (see
+// task.Phased). The phase — round position, surviving candidates,
+// terminal results — is replicated into every shard at each round
+// boundary, so shard 0 alone answers authoritatively under its own
+// lock: polling the frontier during heavy ingestion never merges (or
+// even reads) the accumulated report history.
+func (a *ShardedAggregator) Frontier() (json.RawMessage, error) {
+	if !a.phased {
+		return nil, ErrNotPhased
+	}
+	a.phaseMu.RLock()
+	defer a.phaseMu.RUnlock()
+	s := a.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.(task.Phased).Frontier()
+}
+
+// Advance closes the phased task's current round across every shard:
+// the shards are merged (the same exact-Merge machinery estimates and
+// checkpoints use), the round boundary is computed once on the merged
+// state, and the shards are re-seeded for the next round. Reports
+// racing the call land wholly in the old round or wholly in the new
+// one (where the round tag then rejects them), never split.
+func (a *ShardedAggregator) Advance() error {
+	return a.AdvanceExpecting(-1)
+}
+
+// AdvanceExpecting advances like Advance, but only if the current
+// round equals expect (pass -1 to advance unconditionally). A
+// mismatch returns an error wrapping task.ErrWrongRound without
+// touching the round: the caller's view of the protocol is stale —
+// typically a second driver already closed the round — and advancing
+// again would burn an empty round. The check runs under the advance
+// lock, so concurrent drivers expecting the same round advance it
+// exactly once.
+func (a *ShardedAggregator) AdvanceExpecting(expect int) error {
+	if !a.phased {
+		return ErrNotPhased
+	}
+	a.advanceMu.Lock()
+	defer a.advanceMu.Unlock()
+	if cur := a.Round(); expect >= 0 && cur != expect {
+		return fmt.Errorf("core: advance expected round %d but the collection is at round %d: %w",
+			expect, cur, task.ErrWrongRound)
+	}
+	return a.advanceLocked()
+}
+
+// MaybeAdvance advances the round iff the current round has accepted
+// at least quota reports and the protocol is not done, reporting
+// whether it advanced. The re-check runs under the advance lock, so
+// concurrent reports crossing the quota together advance one round,
+// not one each.
+func (a *ShardedAggregator) MaybeAdvance(quota int) (bool, error) {
+	if !a.phased || quota <= 0 {
+		return false, nil
+	}
+	// Lock-free pre-check: the serving layer calls this after every
+	// accepted report, and funnelling each one through the
+	// collection-global advance mutex just to compare two atomics
+	// would re-serialize the ingest path the shard striping
+	// parallelizes. Reports racing the check land on the next call.
+	if a.done.Load() || a.RoundReports() < quota {
+		return false, nil
+	}
+	a.advanceMu.Lock()
+	defer a.advanceMu.Unlock()
+	if a.done.Load() || a.RoundReports() < quota {
+		return false, nil
+	}
+	if err := a.advanceLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// advanceLocked computes one round boundary; the caller holds
+// advanceMu. All shard locks are held together for the rewrite —
+// ingestion pauses for the merge+prune, which is the round boundary's
+// job description.
+func (a *ShardedAggregator) advanceLocked() error {
+	a.phaseMu.Lock()
+	defer a.phaseMu.Unlock()
+	for _, s := range a.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range a.shards {
+			s.mu.Unlock()
+		}
+	}()
+	merged, err := task.New(a.cfg)
+	if err != nil {
+		return err
+	}
+	for _, s := range a.shards {
+		// Snapshot so the merged aggregator — which becomes shard 0's
+		// live state below — cannot retain references into its
+		// siblings, whatever the adapter's Merge keeps.
+		if err := merged.Merge(s.agg.Snapshot()); err != nil {
+			return err
+		}
+	}
+	p := merged.(task.Phased)
+	if err := p.Advance(); err != nil {
+		return err // "protocol complete" — shards untouched
+	}
+	// The advanced merged aggregator becomes shard 0 — it carries the
+	// full cross-round history — and the other shards adopt its phase
+	// with empty tallies, so a walk over the shards still counts every
+	// report exactly once. (A prepare hook captured from the replaced
+	// aggregator stays valid: Prepare reads only immutable
+	// configuration, which the replacement shares.)
+	a.shards[0].agg = merged
+	for _, s := range a.shards[1:] {
+		if err := s.agg.(task.Phased).AdoptPhase(merged); err != nil {
+			return err
+		}
+	}
+	a.round.Store(int64(p.Round()))
+	a.done.Store(p.Done())
+	a.roundStart.Store(a.collected.Load())
+	a.epoch.Add(1)
+	return nil
 }

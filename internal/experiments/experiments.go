@@ -80,6 +80,8 @@ func All() []Experiment {
 			Source: "Fanti et al., PETS 2016", Run: runE16},
 		{ID: "E17", Title: "Multi-round protocols: quantile bisection, 2-phase refine",
 			Source: "Nguyên et al. 2016, tutorial §1.4", Run: runE17},
+		{ID: "E18", Title: "Served heavy hitters: interactive PEM over the task stack",
+			Source: "Bassily–Smith 2015; tutorial §1.4 (interactivity)", Run: runE18},
 	}
 }
 

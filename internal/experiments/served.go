@@ -1,0 +1,114 @@
+package experiments
+
+// E18: the served interactive heavy-hitter protocol, end to end over
+// the production aggregation stack (sharded hh task, round advances,
+// estimate reads) rather than the batch FindPEM runner — the wall
+// clock of this experiment is the perf-trajectory point for the phased
+// task plumbing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/hhtask"
+)
+
+// runE18 drives the full multi-round PEM protocol through
+// core.ShardedAggregator exactly the way ldpd serves it: per-round
+// client privatization against the published frontier, batched
+// ingestion, an Advance per round, and a final ?top=k estimate read —
+// reporting recall of the planted heavy hitters.
+func runE18(w io.Writer, cfg Config) error {
+	const (
+		epsilon = 2.0
+		bits    = 16
+		levels  = 4
+		k       = 3
+		shards  = 4
+	)
+	// Planted population shares (percent); the remainder is uniform
+	// background over the 2^bits domain.
+	shares := []int{30, 20, 12}
+	tw := table(w)
+	fmt.Fprintln(tw, "users\trounds\trecall@3\t(served PEM, eps=2, bits=16, sharded task stack)")
+	for _, scale := range []int{1, 2} {
+		n := cfg.Users * scale / 2
+		if n < levels {
+			n = levels
+		}
+		var recallSum float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := ldprand.NewSplitMix64(cfg.Seed + uint64(1000*scale+trial))
+			// Plant k heavies with the configured shares; the planted
+			// set is the ground truth.
+			planted := make([]uint64, k)
+			for i := range planted {
+				planted[i] = uint64(ldprand.Intn(src, 1<<bits))
+			}
+			values := make([]uint64, n)
+			for i := range values {
+				values[i] = uint64(ldprand.Intn(src, 1<<bits))
+				r, acc := ldprand.Intn(src, 100), 0
+				for j, share := range shares {
+					if acc += share; r < acc {
+						values[i] = planted[j]
+						break
+					}
+				}
+			}
+
+			agg, err := core.NewShardedAggregator(task.Config{
+				Task: task.TypeHH, Mechanism: hhtask.MechanismPEM,
+				Epsilon: epsilon, Bits: bits, Levels: levels, K: k,
+			}, shards)
+			if err != nil {
+				return err
+			}
+			client, err := hhtask.NewClient(epsilon, bits, levels, src)
+			if err != nil {
+				return err
+			}
+			for round := 0; round < levels; round++ {
+				batch := make([]json.RawMessage, 0, n/levels+1)
+				for _, v := range values[round*n/levels : (round+1)*n/levels] {
+					raw, err := client.Report(v, round)
+					if err != nil {
+						return err
+					}
+					batch = append(batch, raw)
+				}
+				if _, err := agg.AddBatch(batch); err != nil {
+					return err
+				}
+				if err := agg.Advance(); err != nil {
+					return err
+				}
+			}
+			est, err := agg.Estimate(map[string][]string{"top": {fmt.Sprint(k)}})
+			if err != nil {
+				return err
+			}
+			var res hhtask.EstimateResult
+			if err := json.Unmarshal(est, &res); err != nil {
+				return err
+			}
+			found := make(map[uint64]bool, len(res.Hits))
+			for _, h := range res.Hits {
+				found[h.Value] = true
+			}
+			hit := 0
+			for _, p := range planted {
+				if found[p] {
+					hit++
+				}
+			}
+			recallSum += float64(hit) / float64(k)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t\n", n, levels, recallSum/float64(cfg.Trials))
+	}
+	return tw.Flush()
+}

@@ -32,32 +32,40 @@ type Hit struct {
 	Count float64 // estimated number of holders
 }
 
-// lhReport is a local-hashing report over an implicit uint64 domain:
-// the server can test support of any candidate value.
-type lhReport struct {
-	seed   uint64
-	bucket int
+// LHReport is one local-hashing report over an implicit uint64 domain:
+// the client's hash seed plus its (randomized) bucket. Given the seed,
+// the server can test support of any candidate value, which is what
+// lets the protocols query candidate sets chosen after collection.
+type LHReport struct {
+	Seed   uint64 `json:"seed"`
+	Bucket int    `json:"bucket"`
 }
 
-// lhMechanism privatizes uint64 values with OLH and estimates counts
-// over explicit candidate sets — the building block both protocols
-// share.
-type lhMechanism struct {
+// LHMech privatizes uint64 values with OLH and estimates counts over
+// explicit candidate sets — the building block the batch protocols and
+// the served multi-round hh task share.
+type LHMech struct {
 	epsilon float64
 	g       int
 	p       float64
 }
 
-func newLHMechanism(epsilon float64) lhMechanism {
+// NewLHMech derives the optimal-local-hashing parameters (bucket count
+// g, truth probability p) from the privacy budget.
+func NewLHMech(epsilon float64) LHMech {
 	g := int(math.Ceil(math.Exp(epsilon))) + 1
 	if g < 2 {
 		g = 2
 	}
 	expE := math.Exp(epsilon)
-	return lhMechanism{epsilon: epsilon, g: g, p: expE / (expE + float64(g) - 1)}
+	return LHMech{epsilon: epsilon, g: g, p: expE / (expE + float64(g) - 1)}
 }
 
-func (m lhMechanism) privatize(v uint64, src ldprand.Source) lhReport {
+// G returns the hash bucket count; a report's Bucket is in [0, G).
+func (m LHMech) G() int { return m.g }
+
+// Privatize produces the local-hashing report for value v.
+func (m LHMech) Privatize(v uint64, src ldprand.Source) LHReport {
 	seed := src.Uint64()
 	bucket := hashutil.Range(hashutil.HashInt64(seed, int(v)), m.g)
 	if !ldprand.Bernoulli(src, m.p) {
@@ -67,16 +75,16 @@ func (m lhMechanism) privatize(v uint64, src ldprand.Source) lhReport {
 		}
 		bucket = other
 	}
-	return lhReport{seed: seed, bucket: bucket}
+	return LHReport{Seed: seed, Bucket: bucket}
 }
 
-// estimate returns estimated counts of each candidate among the
-// reports.
-func (m lhMechanism) estimate(reports []lhReport, candidates []uint64) []float64 {
+// EstimateCounts returns the debiased estimated count of each candidate
+// among the reports.
+func (m LHMech) EstimateCounts(reports []LHReport, candidates []uint64) []float64 {
 	support := make([]float64, len(candidates))
 	for _, r := range reports {
 		for i, c := range candidates {
-			if hashutil.Range(hashutil.HashInt64(r.seed, int(c)), m.g) == r.bucket {
+			if hashutil.Range(hashutil.HashInt64(r.Seed, int(c)), m.g) == r.Bucket {
 				support[i]++
 			}
 		}
@@ -119,16 +127,18 @@ func (p PEMParams) Validate() error {
 	return nil
 }
 
-func (p PEMParams) budget() int {
+// Budget returns the effective surviving-candidate cap per level:
+// CandidateBudget, or the customary 2·K when unset.
+func (p PEMParams) Budget() int {
 	if p.CandidateBudget == 0 {
 		return 2 * p.K
 	}
 	return p.CandidateBudget
 }
 
-// prefixLen returns the prefix length examined at level i (0-based),
+// PrefixLen returns the prefix length examined at level i (0-based),
 // spreading Bits evenly across Levels and always ending at Bits.
-func (p PEMParams) prefixLen(i int) int {
+func (p PEMParams) PrefixLen(i int) int {
 	return p.Bits * (i + 1) / p.Levels
 }
 
@@ -148,7 +158,7 @@ func FindPEM(params PEMParams, values []uint64, src ldprand.Source) ([]Hit, erro
 			return nil, fmt.Errorf("heavyhitters: value %d exceeds %d bits", v, params.Bits)
 		}
 	}
-	mech := newLHMechanism(params.Epsilon)
+	mech := NewLHMech(params.Epsilon)
 	n := len(values)
 	if n == 0 {
 		return nil, nil
@@ -160,11 +170,11 @@ func FindPEM(params PEMParams, values []uint64, src ldprand.Source) ([]Hit, erro
 	groupOf := func(u int) int { return order[u] * params.Levels / n }
 
 	// Privatize: each user reports its prefix at its level.
-	reportsAt := make([][]lhReport, params.Levels)
+	reportsAt := make([][]LHReport, params.Levels)
 	for u, v := range values {
 		lvl := groupOf(u)
-		shift := uint(params.Bits - params.prefixLen(lvl))
-		reportsAt[lvl] = append(reportsAt[lvl], mech.privatize(v>>shift, src))
+		shift := uint(params.Bits - params.PrefixLen(lvl))
+		reportsAt[lvl] = append(reportsAt[lvl], mech.Privatize(v>>shift, src))
 	}
 
 	// Extend prefixes level by level.
@@ -172,7 +182,7 @@ func FindPEM(params PEMParams, values []uint64, src ldprand.Source) ([]Hit, erro
 	prevLen := 0
 	var lastCounts []float64
 	for lvl := 0; lvl < params.Levels; lvl++ {
-		plen := params.prefixLen(lvl)
+		plen := params.PrefixLen(lvl)
 		grow := plen - prevLen
 		next := make([]uint64, 0, len(candidates)<<uint(grow))
 		for _, c := range candidates {
@@ -181,14 +191,14 @@ func FindPEM(params PEMParams, values []uint64, src ldprand.Source) ([]Hit, erro
 				next = append(next, base|ext)
 			}
 		}
-		counts := mech.estimate(reportsAt[lvl], next)
+		counts := mech.EstimateCounts(reportsAt[lvl], next)
 		// Keep the top candidates for the next level.
 		idx := make([]int, len(next))
 		for i := range idx {
 			idx[i] = i
 		}
 		sort.SliceStable(idx, func(a, b int) bool { return counts[idx[a]] > counts[idx[b]] })
-		keep := params.budget()
+		keep := params.Budget()
 		if lvl == params.Levels-1 {
 			keep = params.K
 		}
@@ -236,17 +246,17 @@ func BaselineGRR(epsilon float64, bits, k int, values []uint64, src ldprand.Sour
 	if src == nil {
 		src = ldprand.NewCrypto()
 	}
-	mech := newLHMechanism(epsilon)
-	reports := make([]lhReport, len(values))
+	mech := NewLHMech(epsilon)
+	reports := make([]LHReport, len(values))
 	for i, v := range values {
-		reports[i] = mech.privatize(v, src)
+		reports[i] = mech.Privatize(v, src)
 	}
 	d := 1 << uint(bits)
 	candidates := make([]uint64, d)
 	for i := range candidates {
 		candidates[i] = uint64(i)
 	}
-	counts := mech.estimate(reports, candidates)
+	counts := mech.EstimateCounts(reports, candidates)
 	hits := make([]Hit, 0, k)
 	idx := make([]int, d)
 	for i := range idx {

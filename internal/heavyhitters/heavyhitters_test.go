@@ -126,7 +126,7 @@ func TestPrefixLenMonotone(t *testing.T) {
 	p := PEMParams{Epsilon: 1, Bits: 13, Levels: 4, K: 1}
 	prev := 0
 	for i := 0; i < p.Levels; i++ {
-		l := p.prefixLen(i)
+		l := p.PrefixLen(i)
 		if l <= prev && !(i == 0 && l > 0) {
 			t.Fatalf("prefix lengths not increasing: level %d len %d after %d", i, l, prev)
 		}
@@ -164,14 +164,14 @@ func TestBaselineRejectsHugeDomain(t *testing.T) {
 }
 
 func TestLHMechanismCalibration(t *testing.T) {
-	m := newLHMechanism(2)
+	m := NewLHMech(2)
 	src := ldprand.NewSplitMix64(10)
 	const n = 30000
-	reports := make([]lhReport, n)
+	reports := make([]LHReport, n)
 	for i := range reports {
-		reports[i] = m.privatize(42, src)
+		reports[i] = m.Privatize(42, src)
 	}
-	counts := m.estimate(reports, []uint64{42, 43})
+	counts := m.EstimateCounts(reports, []uint64{42, 43})
 	if math.Abs(counts[0]-n) > 0.1*n {
 		t.Errorf("true item estimate %.0f want about %d", counts[0], n)
 	}

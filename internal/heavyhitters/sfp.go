@@ -86,12 +86,12 @@ func FindSFP(params SFPParams, words []string, src ldprand.Source) ([]WordHit, e
 	if n == 0 {
 		return nil, nil
 	}
-	mech := newLHMechanism(params.Epsilon)
+	mech := NewLHMech(params.Epsilon)
 
 	// Split users: fragment reporters per position, then verifiers.
 	// Fragment group = first half, divided evenly among positions.
 	half := n / 2
-	fragReports := make([][]lhReport, params.WordLen)
+	fragReports := make([][]LHReport, params.WordLen)
 	order := ldprand.Perm(src, n)
 	var verifierIdx []int
 	for u, w := range words {
@@ -102,7 +102,7 @@ func FindSFP(params SFPParams, words []string, src ldprand.Source) ([]WordHit, e
 			if err != nil {
 				return nil, err
 			}
-			fragReports[pos] = append(fragReports[pos], mech.privatize(fv, src))
+			fragReports[pos] = append(fragReports[pos], mech.Privatize(fv, src))
 		} else {
 			verifierIdx = append(verifierIdx, u)
 		}
@@ -125,7 +125,7 @@ func FindSFP(params SFPParams, words []string, src ldprand.Source) ([]WordHit, e
 		if len(reports) == 0 {
 			continue
 		}
-		counts := mech.estimate(reports, candidates)
+		counts := mech.EstimateCounts(reports, candidates)
 		minCount := params.threshold() * float64(len(reports))
 		for i, c := range counts {
 			if c >= minCount {
@@ -184,7 +184,7 @@ func FindSFP(params SFPParams, words []string, src ldprand.Source) ([]WordHit, e
 	for i, w := range assembled {
 		wordIndex[w] = uint64(i)
 	}
-	verifyReports := make([]lhReport, 0, len(verifierIdx))
+	verifyReports := make([]LHReport, 0, len(verifierIdx))
 	// Words outside the candidate list map to a sentinel beyond the
 	// candidate range, so they only contribute background noise.
 	sentinel := uint64(len(assembled))
@@ -193,13 +193,13 @@ func FindSFP(params SFPParams, words []string, src ldprand.Source) ([]WordHit, e
 		if !ok {
 			v = sentinel
 		}
-		verifyReports = append(verifyReports, mech.privatize(v, src))
+		verifyReports = append(verifyReports, mech.Privatize(v, src))
 	}
 	candVals := make([]uint64, len(assembled))
 	for i := range candVals {
 		candVals[i] = uint64(i)
 	}
-	counts := mech.estimate(verifyReports, candVals)
+	counts := mech.EstimateCounts(verifyReports, candVals)
 	scale := float64(n) / float64(maxInt(len(verifyReports), 1))
 	hits := make([]WordHit, 0, len(assembled))
 	for i, w := range assembled {

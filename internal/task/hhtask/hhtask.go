@@ -1,0 +1,574 @@
+// Package hhtask adapts the prefix-extending heavy-hitter method
+// (internal/heavyhitters' PEM over a local-hashing oracle) to the
+// task-generic aggregation interface as the first *phased* task: the
+// flagship LDP problem of discovering frequent items from domains far
+// too large to enumerate (RAPPOR's unknown dictionary, Apple's new
+// words) served as an interactive multi-round protocol instead of a
+// one-shot batch.
+//
+// The protocol runs one round per prefix level. The server publishes a
+// frontier — the current round, the prefix length to report, and the
+// prefixes that survived the previous round — and each participating
+// client privatizes its value's prefix at that length with OLH and
+// reports it tagged with the round. Advance closes a round: the
+// round's reports score the children of the surviving prefixes, the
+// top candidates survive into the next round, and after the final
+// round the survivors (scaled to the full population) are the
+// discovered heavy hitters, served through ?top=k estimates.
+//
+// Reports from a stale or future round are rejected with
+// task.ErrWrongRound so a lagging client refetches the frontier; this
+// is what keeps each user's single ε-budget report inside exactly one
+// round. The adapter deliberately does not implement task.Preparer:
+// round validation reads the mutable round counter, which the Preparer
+// contract forbids touching outside the shard lock.
+package hhtask
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"repro/internal/heavyhitters"
+	"repro/internal/ldprand"
+	"repro/internal/task"
+)
+
+func init() {
+	task.Register(task.TypeHH, New)
+}
+
+// MechanismPEM is the prefix extending method, the hh family's first
+// (and currently only) mechanism.
+const MechanismPEM = "PEM"
+
+// Mechanisms lists the hh mechanisms in presentation order.
+func Mechanisms() []string { return []string{MechanismPEM} }
+
+// maxRoundCandidates bounds the candidate set scored in any one round
+// (survivor budget × per-round prefix growth). The cap turns a config
+// like bits=60, levels=2 — whose first round would enumerate 2³⁰
+// prefixes — into a creation error instead of an allocation storm at
+// the first Advance.
+const (
+	maxRoundCandidatesLog2 = 20
+	maxRoundCandidates     = 1 << maxRoundCandidatesLog2
+)
+
+// Phase names reported by estimates and /status.
+const (
+	PhaseCollecting = "collecting"
+	PhaseDone       = "done"
+)
+
+// Envelope is the JSON wire format of one privatized hh report: the
+// round it was privatized against plus the local-hashing report for
+// the client's prefix at that round's length.
+type Envelope struct {
+	Mechanism string `json:"mechanism"`
+	Round     int    `json:"round"`
+	Seed      uint64 `json:"seed"`
+	Bucket    int    `json:"bucket"`
+}
+
+// Prefix is one surviving prefix (or, after the final round, one
+// discovered heavy hitter) with its estimated count.
+type Prefix struct {
+	Value uint64  `json:"value"`
+	Count float64 `json:"count"`
+}
+
+// Frontier is the hh task's published per-round state: everything a
+// client needs to participate in the current round, and — once done —
+// the protocol's results.
+type Frontier struct {
+	Mechanism string  `json:"mechanism"`
+	Round     int     `json:"round"`
+	Levels    int     `json:"levels"`
+	Bits      int     `json:"bits"`
+	Epsilon   float64 `json:"epsilon"`
+	// PrefixLen is the prefix length (in bits) clients report this
+	// round; 0 once the protocol is done.
+	PrefixLen int  `json:"prefix_len"`
+	Done      bool `json:"done"`
+	// Prefixes are the survivors of the last completed round, each
+	// PrefixBits long — the candidate parents this round extends.
+	PrefixBits int      `json:"prefix_bits"`
+	Prefixes   []Prefix `json:"prefixes,omitempty"`
+	// Hits are the final discovered heavy hitters, population-scaled;
+	// set only when Done.
+	Hits []Prefix `json:"hits,omitempty"`
+}
+
+// params converts the flat task configuration into PEM parameters.
+func params(cfg task.Config) (heavyhitters.PEMParams, error) {
+	if cfg.Mechanism != "" && cfg.Mechanism != MechanismPEM {
+		return heavyhitters.PEMParams{}, fmt.Errorf("hhtask: unknown mechanism %q (have %v)", cfg.Mechanism, Mechanisms())
+	}
+	p := heavyhitters.PEMParams{
+		Epsilon:         cfg.Epsilon,
+		Bits:            cfg.Bits,
+		Levels:          cfg.Levels,
+		K:               cfg.K,
+		CandidateBudget: cfg.Budget,
+	}
+	if err := p.Validate(); err != nil {
+		return heavyhitters.PEMParams{}, err
+	}
+	// Bound every round's candidate set up front: round 0 enumerates
+	// 2^PrefixLen(0) prefixes, round r extends Budget() survivors by
+	// the round's prefix growth. The shifted comparison (base against
+	// the limit >> grow, with grow itself bounded first) never
+	// overflows — grow can reach 63, where a direct 1<<grow would wrap
+	// negative and wave the config through to a panic at Advance.
+	prev := 0
+	for lvl := 0; lvl < p.Levels; lvl++ {
+		grow := p.PrefixLen(lvl) - prev
+		base := 1
+		if lvl > 0 {
+			base = p.Budget()
+		}
+		if grow > maxRoundCandidatesLog2 || base > maxRoundCandidates>>uint(grow) {
+			return heavyhitters.PEMParams{}, fmt.Errorf(
+				"hhtask: round %d would score %d×2^%d candidates, above the limit %d (raise levels or lower budget)",
+				lvl, base, grow, maxRoundCandidates)
+		}
+		prev = p.PrefixLen(lvl)
+	}
+	return p, nil
+}
+
+// Aggregator is the server half of the PEM protocol: a phased
+// task.Aggregator that accumulates the current round's local-hashing
+// reports and, at each Advance, prunes the prefix frontier.
+type Aggregator struct {
+	params heavyhitters.PEMParams
+	mech   heavyhitters.LHMech
+
+	round     int
+	done      bool
+	prevUsers int // reports absorbed by completed rounds
+	// survivors are the prefixes that survived the last completed
+	// round (PrefixLen(round-1) bits each); nil at round 0, when the
+	// only parent is the empty prefix.
+	survivors []Prefix
+	reports   []heavyhitters.LHReport // current round's reports
+	hits      []Prefix                // final population-scaled results, once done
+}
+
+// New builds an hh task aggregator: Bits-long items discovered over
+// Levels rounds, returning the top K (Budget survivors per round).
+func New(cfg task.Config) (task.Aggregator, error) {
+	p, err := params(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregator{params: p, mech: heavyhitters.NewLHMech(p.Epsilon)}, nil
+}
+
+// Type returns "hh".
+func (a *Aggregator) Type() string { return task.TypeHH }
+
+// Add validates and folds one round-tagged envelope. Reports for any
+// round but the current one — including any report once the protocol
+// is done — are rejected wrapping task.ErrWrongRound.
+func (a *Aggregator) Add(report json.RawMessage) error {
+	var e Envelope
+	if err := json.Unmarshal(report, &e); err != nil {
+		return fmt.Errorf("hhtask: bad envelope: %w", err)
+	}
+	if e.Mechanism != MechanismPEM {
+		return fmt.Errorf("hhtask: envelope mechanism %q does not match %q", e.Mechanism, MechanismPEM)
+	}
+	if a.done {
+		return fmt.Errorf("hhtask: protocol completed all %d rounds: %w", a.params.Levels, task.ErrWrongRound)
+	}
+	if e.Round != a.round {
+		return fmt.Errorf("hhtask: report for round %d, collection at round %d: %w", e.Round, a.round, task.ErrWrongRound)
+	}
+	if e.Bucket < 0 || e.Bucket >= a.mech.G() {
+		return fmt.Errorf("hhtask: bucket %d out of range [0,%d)", e.Bucket, a.mech.G())
+	}
+	a.reports = append(a.reports, heavyhitters.LHReport{Seed: e.Seed, Bucket: e.Bucket})
+	return nil
+}
+
+// AddBatch folds a batch of envelopes, skipping invalid ones.
+func (a *Aggregator) AddBatch(reports []json.RawMessage) (int, error) {
+	return task.AddAll(a, reports)
+}
+
+// Collected returns the total reports absorbed across all rounds.
+func (a *Aggregator) Collected() int { return a.prevUsers + len(a.reports) }
+
+// ReportBits returns the per-report payload size: the 64-bit hash seed
+// plus the bucket index.
+func (a *Aggregator) ReportBits() int { return 64 + bitsFor(a.mech.G()) }
+
+// bitsFor returns ceil(log2(n)) for n >= 1.
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Reset restarts the protocol from round 0, discarding all reports,
+// survivors and results.
+func (a *Aggregator) Reset() {
+	a.round, a.done, a.prevUsers = 0, false, 0
+	a.survivors, a.reports, a.hits = nil, nil, nil
+}
+
+// Round returns the current round (task.Phased).
+func (a *Aggregator) Round() int { return a.round }
+
+// RoundReports returns the current round's report count (task.Phased).
+func (a *Aggregator) RoundReports() int { return len(a.reports) }
+
+// Done reports whether all rounds have completed (task.Phased).
+func (a *Aggregator) Done() bool { return a.done }
+
+// prefixBits returns the length of the current survivors' prefixes.
+func (a *Aggregator) prefixBits() int {
+	if a.round == 0 {
+		return 0
+	}
+	return a.params.PrefixLen(a.round - 1)
+}
+
+// candidates returns the candidate set the current round scores: every
+// extension of the surviving prefixes to this round's prefix length.
+func (a *Aggregator) candidates() []uint64 {
+	grow := a.params.PrefixLen(a.round) - a.prefixBits()
+	parents := []uint64{0} // round 0: the empty prefix
+	if a.round > 0 {
+		parents = make([]uint64, len(a.survivors))
+		for i, s := range a.survivors {
+			parents[i] = s.Value
+		}
+	}
+	out := make([]uint64, 0, len(parents)<<uint(grow))
+	for _, c := range parents {
+		base := c << uint(grow)
+		for ext := uint64(0); ext < 1<<uint(grow); ext++ {
+			out = append(out, base|ext)
+		}
+	}
+	return out
+}
+
+// Advance closes the current round (task.Phased): the round's reports
+// score the candidate extensions, the top Budget (top K at the final
+// round) survive, and the round counter moves on. After the final
+// round the survivors with positive counts, scaled from the final
+// group to the full population, become the protocol's Hits.
+//
+// Advancing an empty round is legal — the protocol moves on with
+// zero-count survivors (kept in candidate order) rather than stalling
+// a deployment whose round quota was never met.
+func (a *Aggregator) Advance() error {
+	if a.done {
+		return fmt.Errorf("hhtask: protocol already completed all %d rounds", a.params.Levels)
+	}
+	cands := a.candidates()
+	counts := a.mech.EstimateCounts(a.reports, cands)
+	final := a.round == a.params.Levels-1
+	keep := a.params.Budget()
+	if final {
+		keep = a.params.K
+	}
+	if keep > len(cands) {
+		keep = len(cands)
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable, so equal counts tie-break by candidate order: Advance is
+	// deterministic in the merged report multiset, never in arrival or
+	// shard order (the support sums are integer-valued, so float
+	// accumulation order cannot perturb them either).
+	sort.SliceStable(idx, func(x, y int) bool { return counts[idx[x]] > counts[idx[y]] })
+	kept := make([]Prefix, keep)
+	for i := 0; i < keep; i++ {
+		kept[i] = Prefix{Value: cands[idx[i]], Count: counts[idx[i]]}
+	}
+	roundUsers := len(a.reports)
+	a.survivors = kept
+	a.prevUsers += roundUsers
+	a.reports = nil
+	a.round++
+	if final {
+		a.done = true
+		scale := float64(a.prevUsers) / float64(max(roundUsers, 1))
+		hits := make([]Prefix, 0, len(kept))
+		for _, s := range kept {
+			if s.Count <= 0 {
+				continue
+			}
+			hits = append(hits, Prefix{Value: s.Value, Count: s.Count * scale})
+		}
+		a.hits = hits
+	}
+	return nil
+}
+
+// Frontier returns the published round state (task.Phased).
+func (a *Aggregator) Frontier() (json.RawMessage, error) {
+	f := Frontier{
+		Mechanism:  MechanismPEM,
+		Round:      a.round,
+		Levels:     a.params.Levels,
+		Bits:       a.params.Bits,
+		Epsilon:    a.params.Epsilon,
+		Done:       a.done,
+		PrefixBits: a.prefixBits(),
+		Prefixes:   append([]Prefix(nil), a.survivors...),
+		Hits:       append([]Prefix(nil), a.hits...),
+	}
+	if !a.done {
+		f.PrefixLen = a.params.PrefixLen(a.round)
+	}
+	return json.Marshal(f)
+}
+
+// AdoptPhase aligns the receiver with from's protocol position,
+// dropping its own reports and history (task.Phased; see the interface
+// comment for how the sharding layer uses it).
+func (a *Aggregator) AdoptPhase(from task.Aggregator) error {
+	o, ok := from.(*Aggregator)
+	if !ok {
+		return task.MergeTypeError(a, from)
+	}
+	if o.params != a.params {
+		return fmt.Errorf("hhtask: cannot adopt phase across parameters (%+v vs %+v)", o.params, a.params)
+	}
+	a.round, a.done = o.round, o.done
+	a.survivors = append([]Prefix(nil), o.survivors...)
+	a.hits = append([]Prefix(nil), o.hits...)
+	a.reports = nil
+	a.prevUsers = 0
+	return nil
+}
+
+// virgin reports whether the aggregator has never absorbed a report or
+// advanced a round — the state task.New returns, and the only state in
+// which Merge may adopt another aggregator's phase wholesale.
+func (a *Aggregator) virgin() bool {
+	return a.round == 0 && !a.done && a.prevUsers == 0 && len(a.reports) == 0
+}
+
+// Merge folds another hh aggregator's state into the receiver. The
+// report lists concatenate and the completed-round totals add; the
+// replicated phase state (round, survivors, results) must agree —
+// merging across rounds is a protocol violation, not a recoverable
+// condition, except into a virgin receiver (a fresh merge target),
+// which adopts the other's phase first.
+func (a *Aggregator) Merge(other task.Aggregator) error {
+	o, ok := other.(*Aggregator)
+	if !ok {
+		return task.MergeTypeError(a, other)
+	}
+	if o.params != a.params {
+		return fmt.Errorf("hhtask: cannot merge across parameters (%+v vs %+v)", o.params, a.params)
+	}
+	if a.virgin() && o.round != 0 {
+		if err := a.AdoptPhase(o); err != nil {
+			return err
+		}
+	}
+	if a.round != o.round || a.done != o.done {
+		return fmt.Errorf("hhtask: cannot merge round %d (done=%v) into round %d (done=%v): %w",
+			o.round, o.done, a.round, a.done, task.ErrWrongRound)
+	}
+	if !samePrefixes(a.survivors, o.survivors) {
+		return fmt.Errorf("hhtask: cannot merge diverged frontiers at round %d", a.round)
+	}
+	a.prevUsers += o.prevUsers
+	a.reports = append(a.reports, o.reports...)
+	return nil
+}
+
+func samePrefixes(a, b []Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns an independent deep copy of the aggregate state.
+func (a *Aggregator) Snapshot() task.Aggregator {
+	cp := *a
+	cp.survivors = append([]Prefix(nil), a.survivors...)
+	cp.reports = append([]heavyhitters.LHReport(nil), a.reports...)
+	cp.hits = append([]Prefix(nil), a.hits...)
+	return &cp
+}
+
+// state is the JSON aggregate-state format. Counts are float64 and
+// seeds uint64, both of which Go's JSON encoding round-trips exactly,
+// so Marshal → Unmarshal reproduces the frontier bit for bit.
+type state struct {
+	Mechanism string                  `json:"mechanism"`
+	Epsilon   float64                 `json:"epsilon"`
+	Bits      int                     `json:"bits"`
+	Levels    int                     `json:"levels"`
+	K         int                     `json:"k"`
+	Budget    int                     `json:"budget,omitempty"`
+	Round     int                     `json:"round"`
+	Done      bool                    `json:"done,omitempty"`
+	PrevUsers int                     `json:"prev_users"`
+	Survivors []Prefix                `json:"survivors,omitempty"`
+	Reports   []heavyhitters.LHReport `json:"reports,omitempty"`
+	Hits      []Prefix                `json:"hits,omitempty"`
+}
+
+// MarshalState serializes the full protocol state: parameters, round
+// position, surviving prefixes, the current round's reports and (when
+// done) the final hits.
+func (a *Aggregator) MarshalState() ([]byte, error) {
+	return json.Marshal(state{
+		Mechanism: MechanismPEM,
+		Epsilon:   a.params.Epsilon,
+		Bits:      a.params.Bits,
+		Levels:    a.params.Levels,
+		K:         a.params.K,
+		Budget:    a.params.CandidateBudget,
+		Round:     a.round,
+		Done:      a.done,
+		PrevUsers: a.prevUsers,
+		Survivors: a.survivors,
+		Reports:   a.reports,
+		Hits:      a.hits,
+	})
+}
+
+// UnmarshalState restores a state blob produced by MarshalState. The
+// blob's parameters must match the receiver's; anything else is an
+// error leaving the receiver unchanged.
+func (a *Aggregator) UnmarshalState(data []byte) error {
+	var st state
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("hhtask: bad state: %w", err)
+	}
+	if st.Mechanism != MechanismPEM {
+		return fmt.Errorf("hhtask: state mechanism %q does not match %q", st.Mechanism, MechanismPEM)
+	}
+	got := heavyhitters.PEMParams{Epsilon: st.Epsilon, Bits: st.Bits, Levels: st.Levels, K: st.K, CandidateBudget: st.Budget}
+	if got != a.params {
+		return fmt.Errorf("hhtask: state parameters %+v do not match aggregator %+v", got, a.params)
+	}
+	if st.Round < 0 || st.Round > st.Levels {
+		return fmt.Errorf("hhtask: state round %d outside [0,%d]", st.Round, st.Levels)
+	}
+	// The protocol maintains done ⇔ round == Levels (only the final
+	// Advance sets done) with no reports in flight afterwards; a state
+	// violating either is corrupt or hand-edited, and restoring it
+	// would open a phantom round past the protocol's end.
+	if st.Done != (st.Round == st.Levels) {
+		return fmt.Errorf("hhtask: state done=%v inconsistent with round %d of %d levels", st.Done, st.Round, st.Levels)
+	}
+	if st.Done && len(st.Reports) > 0 {
+		return fmt.Errorf("hhtask: completed state carries %d in-flight reports", len(st.Reports))
+	}
+	a.round, a.done, a.prevUsers = st.Round, st.Done, st.PrevUsers
+	a.survivors, a.reports, a.hits = st.Survivors, st.Reports, st.Hits
+	return nil
+}
+
+// EstimateResult is the hh task's estimate payload: the protocol
+// position plus, mid-protocol, the surviving frontier prefixes, or,
+// once done, the discovered heavy hitters (?top=k caps either list).
+type EstimateResult struct {
+	Mechanism    string   `json:"mechanism"`
+	Round        int      `json:"round"`
+	Levels       int      `json:"levels"`
+	Phase        string   `json:"phase"`
+	RoundReports int      `json:"round_reports"`
+	PrefixBits   int      `json:"prefix_bits"`
+	Prefixes     []Prefix `json:"prefixes,omitempty"`
+	Hits         []Prefix `json:"hits,omitempty"`
+}
+
+// Estimate answers an analyst query: the current frontier prefixes
+// mid-protocol, the final heavy hitters once done; ?top=k keeps the k
+// highest-count entries (the lists are already count-descending).
+func (a *Aggregator) Estimate(query url.Values) (json.RawMessage, error) {
+	res := EstimateResult{
+		Mechanism:    MechanismPEM,
+		Round:        a.round,
+		Levels:       a.params.Levels,
+		Phase:        PhaseCollecting,
+		RoundReports: len(a.reports),
+		PrefixBits:   a.prefixBits(),
+		Prefixes:     append([]Prefix(nil), a.survivors...),
+	}
+	if a.done {
+		res.Phase = PhaseDone
+		res.Prefixes = nil
+		res.Hits = append([]Prefix(nil), a.hits...)
+	}
+	if s := query.Get("top"); s != "" {
+		k, err := strconv.Atoi(s)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("hhtask: top must be a positive integer, got %q", s)
+		}
+		if k < len(res.Prefixes) {
+			res.Prefixes = res.Prefixes[:k]
+		}
+		if k < len(res.Hits) {
+			res.Hits = res.Hits[:k]
+		}
+	}
+	return json.Marshal(res)
+}
+
+// Client is the user-side half of the PEM protocol: it privatizes one
+// value's prefix against a round published in the server's frontier. A
+// nil source selects crypto/rand, the production configuration.
+type Client struct {
+	epsilon float64
+	bits    int
+	levels  int
+	mech    heavyhitters.LHMech
+	src     ldprand.Source
+}
+
+// NewClient returns a reporting client. The epsilon, bits and levels
+// must match the collection's — clients read them straight from the
+// frontier, which publishes all three.
+func NewClient(epsilon float64, bits, levels int, src ldprand.Source) (*Client, error) {
+	// K is irrelevant to the client half; validate the shared axes.
+	p := heavyhitters.PEMParams{Epsilon: epsilon, Bits: bits, Levels: levels, K: 1}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = ldprand.NewCrypto()
+	}
+	return &Client{epsilon: epsilon, bits: bits, levels: levels, mech: heavyhitters.NewLHMech(epsilon), src: src}, nil
+}
+
+// Report privatizes value v's prefix at the given round's length into
+// a round-tagged wire envelope.
+func (c *Client) Report(v uint64, round int) (json.RawMessage, error) {
+	if round < 0 || round >= c.levels {
+		return nil, fmt.Errorf("hhtask: round %d outside [0,%d)", round, c.levels)
+	}
+	if c.bits < 64 && v >= 1<<uint(c.bits) {
+		return nil, fmt.Errorf("hhtask: value %d exceeds %d bits", v, c.bits)
+	}
+	p := heavyhitters.PEMParams{Epsilon: c.epsilon, Bits: c.bits, Levels: c.levels, K: 1}
+	shift := uint(c.bits - p.PrefixLen(round))
+	r := c.mech.Privatize(v>>shift, c.src)
+	return json.Marshal(Envelope{Mechanism: MechanismPEM, Round: round, Seed: r.Seed, Bucket: r.Bucket})
+}

@@ -1,0 +1,474 @@
+package hhtask
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/url"
+	"testing"
+
+	"repro/internal/heavyhitters"
+	"repro/internal/ldprand"
+	"repro/internal/task"
+)
+
+func cfg() task.Config {
+	return task.Config{Task: task.TypeHH, Mechanism: MechanismPEM, Epsilon: 2, Bits: 8, Levels: 4, K: 3}
+}
+
+// driveRound reports n values into a for the aggregator's current
+// round, each value drawn from values round-robin.
+func driveRound(t *testing.T, a task.Aggregator, c *Client, values []uint64, n int) {
+	t.Helper()
+	p := a.(task.Phased)
+	for i := 0; i < n; i++ {
+		raw, err := c.Report(values[i%len(values)], p.Round())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProtocolRecoversPlantedHitters runs the full multi-round
+// protocol against a skewed population and checks the planted heavy
+// hitters dominate the final hits.
+func TestProtocolRecoversPlantedHitters(t *testing.T) {
+	a, err := task.New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.(task.Phased)
+	client, err := NewClient(2, 8, 4, ldprand.NewSplitMix64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 70% of users hold one of two planted values; the rest spread.
+	src := ldprand.NewSplitMix64(8)
+	for round := 0; round < 4; round++ {
+		if p.Done() {
+			t.Fatalf("done before round %d", round)
+		}
+		for i := 0; i < 900; i++ {
+			v := uint64(ldprand.Intn(src, 256))
+			switch ldprand.Intn(src, 10) {
+			case 0, 1, 2, 3:
+				v = 0xAB
+			case 4, 5, 6:
+				v = 0x17
+			}
+			raw, err := client.Report(v, round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := p.RoundReports(); got != 900 {
+			t.Fatalf("round %d reports %d want 900", round, got)
+		}
+		if err := p.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Done() || p.Round() != 4 {
+		t.Fatalf("done=%v round=%d after final advance", p.Done(), p.Round())
+	}
+	if a.Collected() != 3600 {
+		t.Fatalf("collected %d want 3600", a.Collected())
+	}
+	raw, err := a.Estimate(url.Values{"top": {"2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res EstimateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase != PhaseDone || len(res.Hits) != 2 {
+		t.Fatalf("estimate %+v", res)
+	}
+	found := map[uint64]bool{}
+	for _, h := range res.Hits {
+		found[h.Value] = true
+	}
+	if !found[0xAB] || !found[0x17] {
+		t.Fatalf("planted hitters not recovered: %+v", res.Hits)
+	}
+	// Advancing a done protocol is an error; further reports are
+	// wrong-round.
+	if err := p.Advance(); err == nil {
+		t.Fatal("advance past done succeeded")
+	}
+	rep, _ := client.Report(1, 3)
+	if err := a.Add(rep); !errors.Is(err, task.ErrWrongRound) {
+		t.Fatalf("post-done add error %v, want ErrWrongRound", err)
+	}
+}
+
+// TestWrongRoundRejected pins the round-tag contract: stale and future
+// rounds bounce with task.ErrWrongRound and are not accumulated.
+func TestWrongRoundRejected(t *testing.T) {
+	a, err := task.New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.(task.Phased)
+	client, err := NewClient(2, 8, 4, ldprand.NewSplitMix64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, a, client, []uint64{5}, 10)
+	if err := p.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range []int{0, 2, 3} {
+		raw, err := client.Report(5, round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(raw); !errors.Is(err, task.ErrWrongRound) {
+			t.Fatalf("round %d against current 1: error %v, want ErrWrongRound", round, err)
+		}
+	}
+	if a.Collected() != 10 {
+		t.Fatalf("wrong-round reports were accumulated: collected %d", a.Collected())
+	}
+	// A mechanism mismatch is a plain validation error, not wrong-round.
+	if err := a.Add(json.RawMessage(`{"mechanism":"OLH","value":3}`)); err == nil || errors.Is(err, task.ErrWrongRound) {
+		t.Fatalf("foreign envelope error %v", err)
+	}
+}
+
+// TestMergeMatchesSingleAggregator pins the sharding soundness
+// property: reports split across aggregators and merged advance to
+// exactly the frontier a single aggregator reaches.
+func TestMergeMatchesSingleAggregator(t *testing.T) {
+	single, _ := task.New(cfg())
+	a, _ := task.New(cfg())
+	b, _ := task.New(cfg())
+	client, err := NewClient(2, 8, 4, ldprand.NewSplitMix64(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 300; i++ {
+			raw, err := client.Report(uint64(i%7)*31, round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+			dst := a
+			if i%2 == 1 {
+				dst = b
+			}
+			if err := dst.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := single.(task.Phased).Advance(); err != nil {
+			t.Fatal(err)
+		}
+		// Merge the split pair into a fresh aggregator, advance it, and
+		// redistribute — exactly the sharded round boundary.
+		merged, _ := task.New(cfg())
+		if err := merged.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.(task.Phased).Advance(); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := merged.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.UnmarshalState(ms); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.(task.Phased).AdoptPhase(merged); err != nil {
+			t.Fatal(err)
+		}
+		wantF, err := single.(task.Phased).Frontier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotF, err := merged.(task.Phased).Frontier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantF, gotF) {
+			t.Fatalf("round %d frontier diverged:\n%s\n%s", round, wantF, gotF)
+		}
+	}
+	if a.Collected()+b.Collected() != single.Collected() {
+		t.Fatalf("split collected %d+%d, single %d", a.Collected(), b.Collected(), single.Collected())
+	}
+}
+
+// TestMergeAcrossRoundsRefused pins that desynced aggregators refuse
+// to merge rather than pooling reports across rounds.
+func TestMergeAcrossRoundsRefused(t *testing.T) {
+	a, _ := task.New(cfg())
+	b, _ := task.New(cfg())
+	client, err := NewClient(2, 8, 4, ldprand.NewSplitMix64(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, a, client, []uint64{1}, 5)
+	driveRound(t, b, client, []uint64{1}, 5)
+	if err := a.(task.Phased).Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); !errors.Is(err, task.ErrWrongRound) {
+		t.Fatalf("cross-round merge error %v, want ErrWrongRound", err)
+	}
+}
+
+// TestStateRoundTripsMidRound pins the checkpoint contract at the
+// adapter level: a mid-round state restores bit-identically (frontier,
+// estimate, counters) and the restored protocol finishes correctly.
+func TestStateRoundTripsMidRound(t *testing.T) {
+	a, _ := task.New(cfg())
+	client, err := NewClient(2, 8, 4, ldprand.NewSplitMix64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, a, client, []uint64{0xAB, 0x17, 0x30}, 200)
+	if err := a.(task.Phased).Advance(); err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, a, client, []uint64{0xAB, 0x17, 0x30}, 120) // round 1, mid-flight
+	blob, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, _ := task.New(cfg())
+	if err := b.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := a.(task.Phased).Frontier()
+	fb, _ := b.(task.Phased).Frontier()
+	if !bytes.Equal(fa, fb) {
+		t.Fatalf("frontier changed across state round trip:\n%s\n%s", fa, fb)
+	}
+	ea, _ := a.Estimate(nil)
+	eb, _ := b.Estimate(nil)
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("estimate changed across state round trip:\n%s\n%s", ea, eb)
+	}
+	if b.Collected() != a.Collected() || b.(task.Phased).RoundReports() != 120 {
+		t.Fatalf("restored counters: collected %d round %d", b.Collected(), b.(task.Phased).RoundReports())
+	}
+
+	// A state with different parameters must be refused unchanged.
+	other, _ := task.New(task.Config{Task: task.TypeHH, Epsilon: 2, Bits: 8, Levels: 2, K: 3})
+	if err := other.UnmarshalState(blob); err == nil {
+		t.Fatal("state restored across mismatched parameters")
+	}
+
+	// Corrupt phase invariants are refused: done must track the final
+	// round exactly, and a completed state carries no reports.
+	var st map[string]any
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, corrupt := range []func(map[string]any){
+		func(m map[string]any) { m["round"] = 4.0 },                  // round==levels but done absent
+		func(m map[string]any) { m["done"] = true },                  // done mid-protocol
+		func(m map[string]any) { m["round"], m["done"] = 4.0, true }, // done with in-flight reports
+	} {
+		m := map[string]any{}
+		for k, v := range st {
+			m[k] = v
+		}
+		corrupt(m)
+		forged, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, _ := task.New(cfg())
+		if err := fresh.UnmarshalState(forged); err == nil {
+			t.Fatalf("corrupt state %s restored without error", forged[:80])
+		}
+	}
+}
+
+// TestConfigValidation pins creation-time rejection of malformed and
+// explosive configurations.
+func TestConfigValidation(t *testing.T) {
+	bad := []task.Config{
+		{Task: task.TypeHH, Epsilon: 0, Bits: 8, Levels: 4, K: 3},
+		{Task: task.TypeHH, Epsilon: 1, Bits: 0, Levels: 1, K: 3},
+		{Task: task.TypeHH, Epsilon: 1, Bits: 8, Levels: 9, K: 3},
+		{Task: task.TypeHH, Epsilon: 1, Bits: 8, Levels: 4, K: 0},
+		{Task: task.TypeHH, Mechanism: "SFP", Epsilon: 1, Bits: 8, Levels: 4, K: 3},
+		// Candidate blow-up: round 0 would enumerate 2^30 prefixes.
+		{Task: task.TypeHH, Epsilon: 1, Bits: 60, Levels: 2, K: 3},
+		// Shift overflow: 1<<63 wraps negative, and an unguarded
+		// comparison would accept this and panic at the first Advance.
+		{Task: task.TypeHH, Epsilon: 1, Bits: 63, Levels: 1, K: 1},
+	}
+	for _, c := range bad {
+		if _, err := task.New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	// An empty mechanism means PEM.
+	a, err := task.New(task.Config{Task: task.TypeHH, Epsilon: 1, Bits: 8, Levels: 4, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReportBits() <= 64 {
+		t.Fatalf("report bits %d", a.ReportBits())
+	}
+}
+
+// TestServedMatchesBatchPEM cross-validates the served protocol
+// against FindPEM: with the same per-round populations the served
+// variant should recover the same dominant value.
+func TestServedMatchesBatchPEM(t *testing.T) {
+	values := make([]uint64, 2000)
+	src := ldprand.NewSplitMix64(19)
+	for i := range values {
+		if i%3 == 0 {
+			values[i] = 0xC4
+		} else {
+			values[i] = uint64(ldprand.Intn(src, 256))
+		}
+	}
+	batch, err := heavyhitters.FindPEM(heavyhitters.PEMParams{Epsilon: 2, Bits: 8, Levels: 4, K: 3}, values, ldprand.NewSplitMix64(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := task.New(cfg())
+	client, err := NewClient(2, 8, 4, ldprand.NewSplitMix64(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.(task.Phased)
+	for round := 0; round < 4; round++ {
+		for _, v := range values[round*500 : (round+1)*500] {
+			raw, err := client.Report(v, round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Add(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := a.Estimate(url.Values{"top": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res EstimateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 || len(res.Hits) == 0 {
+		t.Fatalf("batch %v served %v", batch, res.Hits)
+	}
+	if batch[0].Value != 0xC4 || res.Hits[0].Value != 0xC4 {
+		t.Fatalf("dominant value: batch %d served %d want 0xC4", batch[0].Value, res.Hits[0].Value)
+	}
+	// The served scale-up lands in the same ballpark as the batch run
+	// (both estimate ~667 holders from a quarter of the population).
+	truth := 0.0
+	for _, v := range values {
+		if v == 0xC4 {
+			truth++
+		}
+	}
+	for _, got := range []float64{batch[0].Count, res.Hits[0].Count} {
+		if got < truth*0.5 || got > truth*1.5 {
+			t.Fatalf("count %v too far from truth %v", got, truth)
+		}
+	}
+}
+
+// TestFrontierShape pins the published wire schema round over round.
+func TestFrontierShape(t *testing.T) {
+	a, _ := task.New(cfg())
+	p := a.(task.Phased)
+	raw, err := p.Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frontier
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Round != 0 || f.Done || f.PrefixLen != 2 || f.Bits != 8 || f.Levels != 4 || len(f.Prefixes) != 0 {
+		t.Fatalf("round-0 frontier %+v", f)
+	}
+	client, err := NewClient(f.Epsilon, f.Bits, f.Levels, ldprand.NewSplitMix64(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRound(t, a, client, []uint64{0xF0}, 50)
+	if err := p.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = p.Frontier()
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Round != 1 || f.PrefixLen != 4 || f.PrefixBits != 2 || len(f.Prefixes) != 4 {
+		t.Fatalf("round-1 frontier %+v", f)
+	}
+	// 2·K=6 budget over 4 round-0 candidates keeps all 4; the reported
+	// prefixes must be 2-bit values.
+	for _, s := range f.Prefixes {
+		if s.Value > 3 {
+			t.Fatalf("round-1 prefix %d not a 2-bit value", s.Value)
+		}
+	}
+}
+
+// TestAdvanceEmptyRound pins that an empty round advances instead of
+// wedging the protocol.
+func TestAdvanceEmptyRound(t *testing.T) {
+	a, _ := task.New(cfg())
+	p := a.(task.Phased)
+	for i := 0; i < 4; i++ {
+		if err := p.Advance(); err != nil {
+			t.Fatalf("empty advance %d: %v", i, err)
+		}
+	}
+	if !p.Done() {
+		t.Fatal("not done after all rounds")
+	}
+	raw, err := a.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res EstimateResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("empty protocol produced hits %+v", res.Hits)
+	}
+}
+
+// TestEstimateTopValidation pins the ?top= query contract.
+func TestEstimateTopValidation(t *testing.T) {
+	a, _ := task.New(cfg())
+	for _, bad := range []string{"0", "-1", "x"} {
+		if _, err := a.Estimate(url.Values{"top": {bad}}); err == nil {
+			t.Errorf("top=%s accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package task
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// ErrWrongRound reports a round-tagged envelope that does not belong to
+// the aggregator's current round. Phased adapters wrap it (with the
+// offending and current round numbers) so clients can distinguish "your
+// protocol view is stale — refetch the frontier" from an ordinary
+// malformed report; the HTTP layer maps it to 409 Conflict for the same
+// reason. Check with errors.Is.
+var ErrWrongRound = errors.New("task: report round does not match the collection's current round")
+
+// Phased is an optional Aggregator capability for interactive,
+// multi-round tasks — the heavy-hitter protocols over huge domains
+// (PEM prefix extension, fragment puzzles) where the server's round-r
+// output decides what round r+1 even asks. A phased aggregator moves
+// through rounds 0..N; within a round it behaves like any aggregator
+// (absorb envelopes, merge, snapshot), and between rounds Advance
+// consumes the round's reports into the next round's published state.
+//
+// Report envelopes of a phased task carry the round they were
+// privatized against; Add must reject stale or future rounds with an
+// error wrapping ErrWrongRound, so a client whose view lagged an
+// Advance refetches the frontier instead of polluting the new round.
+//
+// The capability is detected by the sharding layer, which coordinates
+// the round boundary across shards: it merges every shard (the same
+// exact-Merge machinery one-shot tasks use), calls Advance on the
+// merged state once, keeps the full history in one shard and aligns
+// the rest with AdoptPhase — so per-shard aggregators never advance on
+// their own. Implementations therefore only need Advance to be correct
+// on a fully merged view.
+type Phased interface {
+	// Round returns the current round, counting from 0.
+	Round() int
+	// RoundReports returns how many reports the current round has
+	// absorbed (the quantity auto-advance quotas compare against).
+	RoundReports() int
+	// Done reports whether the protocol has completed all rounds;
+	// further Advance calls are errors and further reports are
+	// rejected as wrong-round.
+	Done() bool
+	// Frontier returns the server-published per-round state clients
+	// need to participate in the current round — for PEM the round
+	// number, the prefix length to report, and the surviving prefixes
+	// — as task-defined JSON. After the final Advance it carries the
+	// protocol's results.
+	Frontier() (json.RawMessage, error)
+	// Advance closes the current round: it consumes the round's
+	// reports (pruning candidates, extending prefixes — whatever the
+	// protocol's round boundary does), increments Round, and empties
+	// RoundReports. Advancing a Done protocol is an error.
+	Advance() error
+	// AdoptPhase aligns the receiver with from's protocol position —
+	// round, frontier state, terminal results — while dropping the
+	// receiver's own tallies and report history. The sharding layer
+	// calls it on the other shards after advancing the merged state,
+	// so every shard validates incoming rounds identically while the
+	// cumulative history lives in exactly one of them.
+	AdoptPhase(from Aggregator) error
+}

@@ -31,6 +31,7 @@ const (
 	TypeFreq   = "freq"
 	TypeMean   = "mean"
 	TypeSketch = "sketch"
+	TypeHH     = "hh"
 )
 
 // Aggregator is the server half of one LDP task. Implementations are
@@ -89,6 +90,7 @@ type Aggregator interface {
 //	freq:   Mechanism (oracle registry name), Epsilon, Domain
 //	mean:   Mechanism ("duchi" or "harmony"), Epsilon, Dim (harmony)
 //	sketch: Mechanism ("CMS" or "HCMS"), Epsilon, Width, Hashes, SketchSeed
+//	hh:     Mechanism ("PEM"), Epsilon, Bits, Levels, K, Budget
 type Config struct {
 	Task       string  `json:"task,omitempty"` // "" means TypeFreq (pre-task configs)
 	Mechanism  string  `json:"mechanism"`
@@ -98,6 +100,10 @@ type Config struct {
 	Width      int     `json:"width,omitempty"`
 	Hashes     int     `json:"hashes,omitempty"`
 	SketchSeed uint64  `json:"sketch_seed,omitempty"`
+	Bits       int     `json:"bits,omitempty"`   // hh: item length in bits
+	Levels     int     `json:"levels,omitempty"` // hh: protocol rounds (prefix stages)
+	K          int     `json:"k,omitempty"`      // hh: heavy hitters to return
+	Budget     int     `json:"budget,omitempty"` // hh: surviving prefixes kept per round (0 = 2·K)
 }
 
 // Type returns the effective task type: Task, or TypeFreq when unset —
