@@ -32,6 +32,16 @@
 // transport framing only, every value is still randomized
 // independently before it is buffered.
 //
+// Requests that fail with a transport error or a retriable status
+// (5xx, 429) are retried up to -retries times with exponential backoff
+// and jitter. Every batch carries a random Idempotency-Key header, and
+// the server deduplicates on it — even across a server restart — so a
+// retry of a batch whose acknowledgment was lost in transit is
+// answered from the record instead of double-counted. With -retries >
+// 0 (the default), -batch 1 ships single-envelope batches through the
+// same idempotent route; -retries 0 restores the bare POST /report
+// path with no retrying.
+//
 // With -collection NAME the reports target /collections/NAME/report
 // on a multi-survey server; without it they go to the flat routes,
 // which serve the server's default collection.
@@ -48,10 +58,13 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -83,11 +96,16 @@ func main() {
 		sketchSeed = flag.Uint64("sketch-seed", 0, "sketch: shared hash seed (must match the collection)")
 		batch      = flag.Int("batch", 1, "envelopes per request (1 = POST /report per value; oversized batches auto-flush early to fit the server's body cap)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		retries    = flag.Int("retries", 3, "retry attempts per request on transport errors and 5xx/429 responses (idempotent: every batch carries a dedup key; 0 disables retrying and sends -batch 1 via bare POST /report)")
 		hhAdvance  = flag.Bool("hh-advance", true, "hh: close each round via POST .../advance after reporting its group (disable when the server auto-advances on advance_quota)")
 	)
 	flag.Parse()
 	if *batch < 1 {
 		fmt.Fprintln(os.Stderr, "ldpclient: -batch must be at least 1")
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "ldpclient: -retries must be non-negative")
 		os.Exit(2)
 	}
 	base := strings.TrimSuffix(*server, "/")
@@ -99,7 +117,7 @@ func main() {
 	if *taskName == task.TypeHH {
 		// The hh protocol is round-structured, not line-streamed: it
 		// has its own driver.
-		if err := runHH(httpClient, base, *batch, *hhAdvance); err != nil {
+		if err := runHH(httpClient, base, *batch, *retries, *hhAdvance); err != nil {
 			fmt.Fprintln(os.Stderr, "ldpclient:", err)
 			os.Exit(1)
 		}
@@ -125,7 +143,7 @@ func main() {
 		if len(pending) == 0 {
 			return
 		}
-		n, err := postBatch(httpClient, base, pending)
+		n, err := postBatch(httpClient, base, pending, *retries)
 		sent += n
 		failed += len(pending) - n
 		if err != nil {
@@ -148,6 +166,18 @@ func main() {
 			continue
 		}
 		if *batch == 1 {
+			if *retries > 0 {
+				// A single-envelope batch rides the idempotent route, so
+				// a lost acknowledgment can be retried without the risk
+				// of double-counting the report.
+				n, err := postBatch(httpClient, base, []json.RawMessage{env}, *retries)
+				sent += n
+				failed += 1 - n
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
+				}
+				continue
+			}
 			if err := post(httpClient, base+"/report", env); err != nil {
 				fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
 				failed++
@@ -252,7 +282,7 @@ func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, wid
 // refetched before every round, the driver picks the protocol up
 // wherever the server stands — including a server that restarted from
 // a mid-protocol checkpoint.
-func runHH(c *http.Client, base string, batchSize int, advance bool) error {
+func runHH(c *http.Client, base string, batchSize, retries int, advance bool) error {
 	var values []uint64
 	scanner := bufio.NewScanner(os.Stdin)
 	for scanner.Scan() {
@@ -291,7 +321,7 @@ func runHH(c *http.Client, base string, batchSize int, advance bool) error {
 			if len(pending) == 0 {
 				return
 			}
-			got, err := postBatch(c, base, pending)
+			got, err := postBatch(c, base, pending, retries)
 			sent += got
 			failed += len(pending) - got
 			if err != nil {
@@ -399,19 +429,47 @@ func post(c *http.Client, url string, env json.RawMessage) error {
 	return nil
 }
 
-// postBatch ships one /report/batch request and returns how many
-// envelopes the server accepted. When the response body is not the
-// expected BatchResponse JSON (a 405, a proxy error page, ...) the
-// error carries the HTTP status and a snippet of the body, which is
-// what actually identifies the problem — not the decode failure.
-func postBatch(c *http.Client, base string, batch []json.RawMessage) (int, error) {
+// postBatch ships one /report/batch request, retrying transport
+// errors and retriable statuses (5xx, 429) up to `retries` times with
+// exponential backoff, and returns how many envelopes the server
+// accepted. Every attempt carries the same random Idempotency-Key, so
+// a retry of a batch the server already processed (the acknowledgment
+// was lost, not the request) is answered from the server's dedup
+// record instead of aggregated twice.
+func postBatch(c *http.Client, base string, batch []json.RawMessage, retries int) (int, error) {
 	body, err := json.Marshal(batch)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.Post(base+"/report/batch", "application/json", bytes.NewReader(body))
+	id := newBatchID()
+	for attempt := 0; ; attempt++ {
+		n, retriable, err := postBatchOnce(c, base, id, body, len(batch))
+		if err == nil || !retriable || attempt >= retries {
+			return n, err
+		}
+		time.Sleep(backoff(attempt))
+	}
+}
+
+// postBatchOnce is a single /report/batch attempt. retriable marks
+// failures where the server's state is unknown or the condition is
+// transient — exactly the cases a same-key retry resolves safely.
+// When the response body is not the expected BatchResponse JSON (a
+// 405, a proxy error page, ...) the error carries the HTTP status and
+// a snippet of the body, which is what actually identifies the problem
+// — not the decode failure.
+func postBatchOnce(c *http.Client, base, id string, body []byte, batchLen int) (n int, retriable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/report/batch", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		req.Header.Set("Idempotency-Key", id)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, true, err
 	}
 	defer resp.Body.Close()
 	// The cap only guards against a pathological non-ldpd responder; a
@@ -419,16 +477,41 @@ func postBatch(c *http.Client, base string, batch []json.RawMessage) (int, error
 	// so the accepted count is never lost to truncation.
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return 0, fmt.Errorf("server returned %s (reading body: %v)", resp.Status, err)
+		return 0, true, fmt.Errorf("server returned %s (reading body: %v)", resp.Status, err)
+	}
+	if resp.StatusCode >= http.StatusInternalServerError || resp.StatusCode == http.StatusTooManyRequests {
+		return 0, true, fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
 	}
 	var br core.BatchResponse
 	if err := json.Unmarshal(raw, &br); err != nil {
-		return 0, fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
+		return 0, false, fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return br.Accepted, fmt.Errorf("server rejected %d of %d: %s", br.Rejected, len(batch), br.Error)
+		return br.Accepted, false, fmt.Errorf("server rejected %d of %d: %s", br.Rejected, batchLen, br.Error)
 	}
-	return br.Accepted, nil
+	return br.Accepted, false, nil
+}
+
+// newBatchID draws a fresh 128-bit Idempotency-Key. An empty string
+// (randomness unavailable) sends the batch without deduplication —
+// worse retry semantics, never a blocked upload.
+func newBatchID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// backoff returns the sleep before retry number attempt+1: 250ms
+// doubling per attempt, capped at 8s, with the upper half jittered so
+// a fleet of clients retrying one outage does not re-arrive in step.
+func backoff(attempt int) time.Duration {
+	if attempt > 5 {
+		attempt = 5
+	}
+	d := 250 * time.Millisecond << uint(attempt)
+	return d/2 + time.Duration(mrand.Int63n(int64(d/2)+1))
 }
 
 // bodySnippet compresses a response body into one loggable line.

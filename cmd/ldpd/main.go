@@ -23,16 +23,25 @@
 // the round. Reports tagged with a stale round are answered 409 so the
 // client refetches the frontier.
 //
-// With -state-dir set, every collection is checkpointed to a JSON
-// snapshot in that directory (atomically, write-temp-then-rename)
-// every -checkpoint-interval, restored on startup, and flushed one
-// final time on SIGINT/SIGTERM before the graceful shutdown completes
-// — so a restart resumes with exactly the pre-restart counts.
+// With -state-dir set, every collection is checkpointed to a
+// checksummed JSON snapshot in that directory (atomically,
+// write-temp-then-rename) every -checkpoint-interval, restored on
+// startup, and flushed one final time on SIGINT/SIGTERM before the
+// graceful shutdown completes. Between checkpoints, every acknowledged
+// report batch is appended to a per-collection write-ahead journal and
+// replayed on restart, so a crash at any moment loses nothing the
+// server acknowledged; -journal-sync picks whether each append is
+// fsync'd ("always", survives power loss) or left to the page cache
+// ("none", survives process crashes only, far cheaper). Snapshots that
+// fail their checksum at startup are set aside under a .corrupt suffix
+// and every other collection is restored. GET /healthz reports
+// per-collection checkpoint failures and journal lag, turning 503 once
+// -unhealthy-after consecutive checkpoints have failed.
 //
 // Usage:
 //
 //	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128 -shards 0 \
-//	     -state-dir /var/lib/ldpd -checkpoint-interval 30s
+//	     -state-dir /var/lib/ldpd -checkpoint-interval 30s -journal-sync always
 //
 // Report format (JSON), e.g. for GRR:
 //
@@ -63,6 +72,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsio"
 
 	// Task adapters register themselves with the task registry; every
 	// family linked here is creatable via POST /collections and
@@ -74,27 +84,33 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		mechanism  = flag.String("mechanism", core.MechanismOLH, "default collection's frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
-		epsilon    = flag.Float64("epsilon", 1.0, "default collection's privacy budget per report")
-		domain     = flag.Int("domain", 128, "default collection's input domain size")
-		shards     = flag.Int("shards", 0, "aggregation shards per collection (0 = one per core)")
-		stateDir   = flag.String("state-dir", "", "directory for per-collection snapshots (empty = memory only)")
-		checkpoint = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint collections to -state-dir")
+		addr        = flag.String("addr", ":8080", "listen address")
+		mechanism   = flag.String("mechanism", core.MechanismOLH, "default collection's frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
+		epsilon     = flag.Float64("epsilon", 1.0, "default collection's privacy budget per report")
+		domain      = flag.Int("domain", 128, "default collection's input domain size")
+		shards      = flag.Int("shards", 0, "aggregation shards per collection (0 = one per core)")
+		stateDir    = flag.String("state-dir", "", "directory for per-collection snapshots (empty = memory only)")
+		checkpoint  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint collections to -state-dir")
+		journalSync = flag.String("journal-sync", core.JournalSyncEvery, "write-ahead journal fsync policy: \"always\" (acknowledged reports survive power loss) or \"none\" (page-cache durability only)")
+		unhealthy   = flag.Int("unhealthy-after", core.DefaultUnhealthyAfter, "consecutive checkpoint failures per collection before GET /healthz answers 503")
 	)
 	flag.Parse()
-	if err := run(*addr, *mechanism, *epsilon, *domain, *shards, *stateDir, *checkpoint); err != nil {
+	if *journalSync != core.JournalSyncEvery && *journalSync != core.JournalSyncNone {
+		fmt.Fprintf(os.Stderr, "ldpd: -journal-sync must be %q or %q, got %q\n", core.JournalSyncEvery, core.JournalSyncNone, *journalSync)
+		os.Exit(2)
+	}
+	if err := run(*addr, *mechanism, *epsilon, *domain, *shards, *stateDir, *checkpoint, *journalSync, *unhealthy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir string, checkpointEvery time.Duration) error {
+func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir string, checkpointEvery time.Duration, journalSync string, unhealthyAfter int) error {
 	reg := core.NewCollectionRegistry()
 	var store *core.Store
 	if stateDir != "" {
 		var err error
-		store, err = core.NewStore(stateDir)
+		store, err = core.NewStoreFS(stateDir, fsio.OS, journalSync)
 		if err != nil {
 			return err
 		}
@@ -122,9 +138,22 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 		if def, err = reg.Create(core.DefaultCollection, defaultCfg); err != nil {
 			return err
 		}
+		if store != nil {
+			// A fresh default collection gets its journal and an
+			// immediate snapshot, so its configuration (and everything
+			// acknowledged before the first checkpoint tick) survives a
+			// crash from the very first report on.
+			if err := store.Attach(def); err != nil {
+				return fmt.Errorf("ldpd: journal for default collection: %w", err)
+			}
+			if err := store.Save(reg, def); err != nil {
+				return fmt.Errorf("ldpd: initial checkpoint: %w", err)
+			}
+		}
 	}
 
 	svc := core.NewMultiService(reg, store)
+	svc.SetUnhealthyAfter(unhealthyAfter)
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),

@@ -6,6 +6,8 @@ package core
 
 import (
 	"encoding/json"
+	"hash/crc32"
+	"os"
 	"testing"
 
 	"repro/internal/task"
@@ -42,4 +44,41 @@ func freqCounts(t testing.TB, a task.Aggregator) []float64 {
 		t.Fatalf("aggregator is %T, want *freqtask.Aggregator", a)
 	}
 	return fa.Oracle().EstimateCounts()
+}
+
+// readSnapshotFile reads and decodes a snapshot file of any supported
+// version, failing the test on corruption.
+func readSnapshotFile(t testing.TB, path string) CollectionSnapshot {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := decodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// writeSnapshotFile writes a properly wrapped (checksummed) current-
+// version snapshot file — the forgery helper for tests that corrupt a
+// specific field rather than the framing.
+func writeSnapshotFile(t testing.TB, path string, snap CollectionSnapshot) {
+	t.Helper()
+	inner, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(snapshotFile{
+		Version:  SnapshotVersion,
+		CRC32C:   crc32.Checksum(inner, crcTable),
+		Snapshot: inner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,467 @@
+// Write-ahead report journal: the durability half the checkpoint store
+// alone cannot provide. Snapshots bound restart cost but are periodic,
+// so every report accepted since the last checkpoint used to die with
+// the process. The journal closes that window: accepted report batches
+// (and round advances) are appended as CRC32C-framed records to a
+// per-collection segment file BEFORE they are folded into the
+// aggregator, and a restart replays the surviving frames on top of the
+// restored snapshot. Checkpoints rotate the journal to a fresh segment
+// and delete the superseded ones once the snapshot is durable, so the
+// journal stays as short as the checkpoint interval.
+//
+// Frame format (little-endian):
+//
+//	[4 bytes payload length][4 bytes CRC32C of payload][payload JSON]
+//
+// A torn final frame — the expected debris of a crash mid-append — fails
+// its length or checksum and is truncated away at replay; it was never
+// acknowledged, so dropping it is exactly right. Replay never refuses
+// startup.
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/fsio"
+)
+
+// ErrJournal marks a failure to append to the write-ahead journal: the
+// report was NOT durably recorded and must not be acknowledged. The
+// HTTP layer maps it to 503 so clients retry (safely — retries are
+// deduplicated by batch ID).
+var ErrJournal = errors.New("core: report journal unavailable")
+
+// ErrBatchInFlight is returned when a batch ID is claimed by a request
+// still being processed; the retrying client should back off and try
+// again, by which time the first attempt has completed (and the retry
+// deduplicates) or failed (and the retry proceeds).
+var ErrBatchInFlight = errors.New("core: batch with this idempotency key is still in flight")
+
+// journalSyncEvery / journalSyncNone are the -journal-sync policies:
+// fsync after every append (an acknowledged report survives power
+// loss) or never (an acknowledged report survives process crashes via
+// the page cache, but a power cut can lose the tail).
+const (
+	JournalSyncEvery = "always"
+	JournalSyncNone  = "none"
+)
+
+// crcTable is the Castagnoli (CRC32C) polynomial, the standard choice
+// for storage framing (iSCSI, ext4, leveldb).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame kinds. Batches carry report envelopes (and the dedup ID that
+// acknowledged them); advances record a phased collection's round
+// boundary so replay closes rounds at exactly the positions the live
+// process did.
+const (
+	recordBatch   = "batch"
+	recordAdvance = "advance"
+)
+
+// journalRecord is one frame's JSON payload.
+type journalRecord struct {
+	Kind  string            `json:"kind"`
+	ID    string            `json:"id,omitempty"`    // batch: idempotency key
+	Envs  []json.RawMessage `json:"envs,omitempty"`  // batch: report envelopes as received
+	Round int               `json:"round,omitempty"` // advance: the round that was closed
+}
+
+// maxFrameBytes bounds a replayed frame's claimed payload length: the
+// largest legitimate frame is one full /report/batch body plus record
+// framing, so anything claiming more is corruption, not data.
+const maxFrameBytes = maxBatchBytes + (1 << 20)
+
+// segStats tracks one segment's outstanding (not yet checkpointed)
+// frames, the "journal lag" /healthz reports.
+type segStats struct {
+	frames int
+	bytes  int64
+}
+
+// journal is one collection's write-ahead log, a sequence of segment
+// files <name>.journal.<gen>. Appends go to the active (highest)
+// generation; a checkpoint rotates to the next generation and, once
+// its snapshot is durable, drops every generation it superseded.
+type journal struct {
+	fs       fsio.FS
+	dir      string
+	name     string
+	syncEach bool
+
+	// mu serializes appends with each other and with rotation: the
+	// collection's walMu orders append+fold pairs against checkpoint
+	// boundaries, but concurrent ingests hold walMu shared, so frame
+	// writes and the stats map need their own lock.
+	mu      sync.Mutex
+	f       fsio.File
+	gen     int
+	broken  error // first append failure; set until a checkpoint clears it
+	pending map[int]*segStats
+}
+
+func newJournal(fsys fsio.FS, dir, name string, gen int, syncPolicy string) *journal {
+	return &journal{
+		fs:       fsys,
+		dir:      dir,
+		name:     name,
+		syncEach: syncPolicy != JournalSyncNone,
+		gen:      gen,
+		pending:  make(map[int]*segStats),
+	}
+}
+
+func journalSegPath(dir, name string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.journal.%06d", name, gen))
+}
+
+// parseGen parses a segment file's generation suffix; an error means
+// the file is not a live segment (quarantined, or foreign).
+func parseGen(suffix string) (int, error) {
+	gen, err := strconv.Atoi(suffix)
+	if err != nil {
+		return 0, err
+	}
+	if gen < 0 {
+		return 0, fmt.Errorf("negative generation %d", gen)
+	}
+	return gen, nil
+}
+
+// segRef is one on-disk segment.
+type segRef struct {
+	gen  int
+	path string
+}
+
+// journalSegments lists the collection's segment files sorted by
+// generation. Files matching the glob but without a numeric generation
+// suffix are ignored (they are not ours to interpret).
+func journalSegments(fsys fsio.FS, dir, name string) ([]segRef, error) {
+	matches, err := fsys.Glob(filepath.Join(dir, name+".journal.*"))
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]segRef, 0, len(matches))
+	for _, m := range matches {
+		gen, err := parseGen(strings.TrimPrefix(filepath.Base(m), name+".journal."))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segRef{gen: gen, path: m})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+	return segs, nil
+}
+
+// frame encodes one record: length, CRC32C, payload.
+func frame(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// append writes one frame to the active segment, creating it if
+// needed, syncing per policy. Any failure marks the journal broken:
+// every later append fails too, so nothing further is acknowledged
+// until a successful checkpoint supersedes the journal and clears the
+// flag — the invariant "ack ⇒ durably journaled or checkpointed" holds
+// even across partial writes.
+func (j *journal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return fmt.Errorf("%w (since: %v)", ErrJournal, j.broken)
+	}
+	buf, err := frame(rec)
+	if err != nil {
+		return fmt.Errorf("%w: encoding frame: %v", ErrJournal, err)
+	}
+	if j.f == nil {
+		f, err := j.fs.OpenFile(journalSegPath(j.dir, j.name, j.gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			j.broken = err
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+		j.f = f
+	}
+	// One Write call per frame: a torn write can split a frame (the
+	// replay truncates it) but frames never interleave.
+	if _, err := j.f.Write(buf); err != nil {
+		j.broken = err
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if j.syncEach {
+		if err := j.f.Sync(); err != nil {
+			j.broken = err
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	st := j.pending[j.gen]
+	if st == nil {
+		st = &segStats{}
+		j.pending[j.gen] = st
+	}
+	st.frames++
+	st.bytes += int64(len(buf))
+	return nil
+}
+
+// rotate closes the active segment and moves appends to the next
+// generation, returning the new generation. Every frame in generations
+// below the returned one is folded into the aggregator by the time the
+// caller (holding the collection's exclusive WAL lock) snapshots it.
+func (j *journal) rotate() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		_ = j.f.Close()
+		j.f = nil
+	}
+	j.gen++
+	return j.gen
+}
+
+// dropBefore removes every segment file with generation < gen — they
+// are superseded by a durable snapshot — and clears the broken flag:
+// the journal restarts empty, so earlier append failures no longer
+// taint it.
+func (j *journal) dropBefore(gen int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	segs, err := journalSegments(j.fs, j.dir, j.name)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, s := range segs {
+		if s.gen >= gen {
+			continue
+		}
+		if err := j.fs.Remove(s.path); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		delete(j.pending, s.gen)
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	j.broken = nil
+	return nil
+}
+
+// addExisting seeds the lag accounting with a pre-restart segment the
+// restart replayed (its frames are outstanding until the next
+// checkpoint drops them).
+func (j *journal) addExisting(gen, frames int, bytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pending[gen] = &segStats{frames: frames, bytes: bytes}
+}
+
+// lag sums the outstanding (un-checkpointed) frames and bytes.
+func (j *journal) lag() (frames int, bytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, st := range j.pending {
+		frames += st.frames
+		bytes += st.bytes
+	}
+	return frames, bytes
+}
+
+// isBroken reports whether appends are failing (journal unavailable
+// until the next successful checkpoint).
+func (j *journal) isBroken() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.broken != nil
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		_ = j.f.Close()
+		j.f = nil
+	}
+}
+
+// nextFrame decodes the frame at the start of data, returning the
+// record, the frame's total size, and whether a sound frame was there
+// at all. A torn length, an insane length, a checksum mismatch or
+// checksummed garbage all report !ok: framing has lost sync and
+// everything from here on is untrusted.
+func nextFrame(data []byte) (journalRecord, int, bool) {
+	if len(data) < 8 {
+		return journalRecord{}, 0, false // torn inside the header
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxFrameBytes || 8+n > len(data) {
+		return journalRecord{}, 0, false // torn or insane length
+	}
+	payload := data[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return journalRecord{}, 0, false // bit rot or torn write inside the frame
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return journalRecord{}, 0, false // checksummed garbage: still not a record
+	}
+	return rec, 8 + n, true
+}
+
+// parseFrames walks a segment's bytes and returns the decoded records
+// plus the offset of the first bad frame (== len(data) when the whole
+// segment is sound).
+func parseFrames(data []byte) (recs []journalRecord, goodLen int) {
+	off := 0
+	for {
+		rec, n, ok := nextFrame(data[off:])
+		if !ok {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}
+
+// BatchResult is the outcome of one idempotent batch ingest.
+type BatchResult struct {
+	Accepted int
+	Rejected int
+	// Replayed marks a deduplicated retry: the batch was already
+	// aggregated, the recorded outcome is returned again.
+	Replayed bool
+	// RejectErr details per-envelope rejections (a client-side error;
+	// the batch's accepted remainder was still aggregated).
+	RejectErr error
+}
+
+// IngestBatch runs the write-ahead ingest path for one report batch:
+// claim the idempotency key (dedup retries, fence concurrent
+// duplicates), append the batch to the journal, then fold it into the
+// aggregator — in that order, so an acknowledged batch is always
+// recoverable and an unacknowledged one is never double-counted when
+// the client retries it. id may be empty (no deduplication; the batch
+// is still journaled).
+func (c *Collection) IngestBatch(id string, batch []json.RawMessage) (BatchResult, error) {
+	if id != "" {
+		c.dedupMu.Lock()
+		mark, state := c.dedup.claim(id)
+		c.dedupMu.Unlock()
+		switch state {
+		case dedupDone:
+			return BatchResult{Accepted: mark.Accepted, Rejected: mark.Rejected, Replayed: true}, nil
+		case dedupInflight:
+			return BatchResult{}, ErrBatchInFlight
+		}
+	}
+	c.walMu.RLock()
+	if c.journal != nil {
+		if err := c.journal.append(journalRecord{Kind: recordBatch, ID: id, Envs: batch}); err != nil {
+			c.walMu.RUnlock()
+			if id != "" {
+				c.dedupMu.Lock()
+				c.dedup.abandon(id)
+				c.dedupMu.Unlock()
+			}
+			return BatchResult{}, err
+		}
+	}
+	accepted, rejectErr := c.agg.AddBatch(batch)
+	c.walMu.RUnlock()
+	res := BatchResult{Accepted: accepted, Rejected: len(batch) - accepted, RejectErr: rejectErr}
+	if id != "" {
+		c.dedupMu.Lock()
+		c.dedup.complete(BatchMark{ID: id, Accepted: res.Accepted, Rejected: res.Rejected})
+		c.dedupMu.Unlock()
+	}
+	return res, nil
+}
+
+// IngestReport journals and folds one report envelope (the WAL
+// ordering of IngestBatch, without deduplication — single reports
+// carry no idempotency key).
+func (c *Collection) IngestReport(raw json.RawMessage) error {
+	c.walMu.RLock()
+	defer c.walMu.RUnlock()
+	if c.journal != nil {
+		if err := c.journal.append(journalRecord{Kind: recordBatch, Envs: []json.RawMessage{raw}}); err != nil {
+			return err
+		}
+	}
+	return c.agg.Add(raw)
+}
+
+// AdvanceExpecting closes the collection's current round (see
+// ShardedAggregator.AdvanceExpecting) and journals the boundary, under
+// the exclusive WAL lock so no report batch straddles it: every
+// journaled frame lies wholly before or wholly after the advance
+// frame, exactly matching the order the aggregator saw.
+func (c *Collection) AdvanceExpecting(expect int) error {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	round := c.agg.Round()
+	if err := c.agg.AdvanceExpecting(expect); err != nil {
+		return err
+	}
+	c.journalAdvanceLocked(round)
+	return nil
+}
+
+// MaybeAdvance quota-advances the round (see
+// ShardedAggregator.MaybeAdvance), journaling the boundary like
+// AdvanceExpecting. The lock-free pre-check keeps per-report polling
+// off the WAL lock.
+func (c *Collection) MaybeAdvance(quota int) (bool, error) {
+	if quota <= 0 || !c.agg.Phased() {
+		return false, nil
+	}
+	if c.agg.Done() || c.agg.RoundReports() < quota {
+		return false, nil
+	}
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	round := c.agg.Round()
+	advanced, err := c.agg.MaybeAdvance(quota)
+	if advanced {
+		c.journalAdvanceLocked(round)
+	}
+	return advanced, err
+}
+
+// journalAdvanceLocked appends the advance frame for a round that was
+// just closed; the caller holds walMu exclusively. A failed append
+// leaves the advance applied in memory but unjournaled — the journal
+// is then broken, so no later report is acknowledged until a
+// checkpoint (which the serving layer triggers after every advance)
+// persists the post-advance state and resets the journal; a crash in
+// between only loses unacknowledged work.
+func (c *Collection) journalAdvanceLocked(round int) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(journalRecord{Kind: recordAdvance, Round: round}); err != nil {
+		log.Printf("core: journaling advance of collection %q past round %d: %v", c.name, round, err)
+	}
+}

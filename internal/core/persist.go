@@ -1,28 +1,50 @@
 // Checkpoint persistence for collection servers: each collection's
-// merged aggregate state is written as one JSON snapshot file under a
-// state directory, atomically (write a temp file, fsync, rename), and
-// restored on startup so a restarted server resumes with exactly its
-// pre-restart counts. Snapshots are small — one serialized oracle per
-// collection, independent of how many reports it absorbed — which is
-// what makes frequent checkpointing affordable.
+// merged aggregate state is written as one checksummed JSON snapshot
+// file under a state directory, atomically (write a temp file, fsync,
+// rename), and restored on startup so a restarted server resumes with
+// exactly its pre-restart counts. Snapshots are small — one serialized
+// oracle per collection, independent of how many reports it absorbed —
+// which is what makes frequent checkpointing affordable.
+//
+// The store also owns each collection's write-ahead journal (see
+// journal.go): Save rotates the journal to a fresh segment before
+// capturing state, records the rotation point in the snapshot, and
+// drops the superseded segments once the snapshot is durable; Load
+// replays the surviving segments on top of the restored snapshot.
+// Together they make the acked-report invariant hold across crashes:
+// what a restarted server serves is exactly what it acknowledged.
+//
+// Load never refuses startup over one bad file: a snapshot that fails
+// its checksum, does not parse, or cannot be restored is set aside
+// under a .corrupt suffix — preserved for the operator, ignored by
+// future Loads — and every other collection is restored normally.
 package core
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"repro/internal/fsio"
 	"repro/internal/task"
 )
 
 // snapshotExt is the suffix of snapshot files in the state directory;
 // anything else in the directory is ignored on load.
 const snapshotExt = ".json"
+
+// corruptExt marks a file Load quarantined: it failed its checksum,
+// did not parse, or could not be restored. Appended to the original
+// name (snapshot.json.corrupt, name.journal.000002.corrupt), so the
+// operator can see what the file was.
+const corruptExt = ".corrupt"
 
 // SnapshotVersion is the current checkpoint envelope version. Version
 // history:
@@ -41,10 +63,19 @@ const snapshotExt = ".json"
 //	             silently resumes at the wrong round. One-shot tasks
 //	             carry neither field, and version-2 snapshots restore
 //	             unchanged (the state formats are identical).
+//	4          — checksummed checkpoints: the file is a wrapper
+//	             {version, crc32c, snapshot} whose CRC32C covers the
+//	             inner snapshot bytes verbatim, so bit rot is detected
+//	             rather than restored. The inner snapshot additionally
+//	             records the journal rotation point (journal_gen) and
+//	             the acknowledged batch IDs (batches) that make
+//	             client retries idempotent across restarts. Versions
+//	             0–3 (bare snapshots) still restore unchanged.
 //
-// Versions above the current one are refused at load: a newer build's
-// snapshot may carry semantics this build would silently misread.
-const SnapshotVersion = 3
+// Versions above the current one are quarantined at load: a newer
+// build's snapshot may carry semantics this build would silently
+// misread.
+const SnapshotVersion = 4
 
 // CollectionSnapshot is the on-disk format of one collection: its
 // configuration (enough to rebuild the aggregator, task tag included)
@@ -52,26 +83,66 @@ const SnapshotVersion = 3
 // For phased tasks Round and Frontier record the protocol position the
 // state was captured at — Frontier is advisory (operators can read the
 // protocol's standing straight off the file), Round is verified
-// against the restored state at load.
+// against the restored state at load. JournalGen is the first journal
+// generation NOT folded into this snapshot: restart replays segments
+// at or above it and deletes the rest. Batches carries the dedup
+// memory of acknowledged batch IDs.
 type CollectionSnapshot struct {
-	Version  int              `json:"version,omitempty"`
-	Name     string           `json:"name"`
-	Config   CollectionConfig `json:"config"`
-	State    json.RawMessage  `json:"state"`
-	Round    int              `json:"round,omitempty"`
-	Frontier json.RawMessage  `json:"frontier,omitempty"`
+	Version    int              `json:"version,omitempty"`
+	Name       string           `json:"name"`
+	Config     CollectionConfig `json:"config"`
+	State      json.RawMessage  `json:"state"`
+	Round      int              `json:"round,omitempty"`
+	Frontier   json.RawMessage  `json:"frontier,omitempty"`
+	JournalGen int              `json:"journal_gen,omitempty"`
+	Batches    []BatchMark      `json:"batches,omitempty"`
+}
+
+// snapshotFile is the version-4 on-disk wrapper: the inner snapshot's
+// bytes verbatim plus their CRC32C. Keeping the checksum outside the
+// snapshot (rather than as a field inside it) means verification is a
+// plain Checksum call over raw bytes, with no re-marshaling step whose
+// field ordering would have to be canonical.
+type snapshotFile struct {
+	Version  int             `json:"version"`
+	CRC32C   uint32          `json:"crc32c"`
+	Snapshot json.RawMessage `json:"snapshot"`
 }
 
 // Store persists collection snapshots in one directory, one file per
-// collection. It is safe for concurrent use; per-collection epochs are
-// tracked so checkpointing an unchanged collection skips the disk
-// write entirely.
+// collection, and manages the write-ahead journals beside them. It is
+// safe for concurrent use; per-collection epochs are tracked so
+// checkpointing an unchanged collection skips the disk write entirely.
 type Store struct {
-	dir string
+	dir         string
+	fs          fsio.FS
+	journalSync string
 
-	mu    sync.Mutex
-	saved map[string]uint64    // collection -> epoch at last successful save
-	names map[string]*nameLock // per-collection lock serializing Save vs Remove
+	mu     sync.Mutex
+	saved  map[string]uint64    // collection -> epoch at last successful save
+	names  map[string]*nameLock // per-collection lock serializing Save vs Remove
+	health map[string]*saveHealth
+}
+
+// saveHealth tracks one collection's checkpoint failures since its
+// last success.
+type saveHealth struct {
+	failures int
+	lastErr  string
+}
+
+// CollectionHealth is one collection's durability standing, served by
+// GET /healthz: how many checkpoints in a row have failed (0 = the
+// last one succeeded), what the last failure said, and how much
+// journaled-but-not-checkpointed work a crash right now would have to
+// replay. JournalBroken means appends are failing — nothing is being
+// acknowledged — until a checkpoint resets the journal.
+type CollectionHealth struct {
+	SaveFailures     int    `json:"save_failures,omitempty"`
+	LastSaveError    string `json:"last_save_error,omitempty"`
+	JournalLagFrames int    `json:"journal_lag_frames"`
+	JournalLagBytes  int64  `json:"journal_lag_bytes"`
+	JournalBroken    bool   `json:"journal_broken,omitempty"`
 }
 
 // nameLock is a reference-counted mutex: the map entry is reclaimed
@@ -82,22 +153,35 @@ type nameLock struct {
 	refs int
 }
 
-// NewStore opens (creating if needed) a snapshot directory and sweeps
-// temp files orphaned by a crash mid-checkpoint — no checkpoint is in
-// flight at open time, so every *.tmp present is a stray.
+// NewStore opens (creating if needed) a snapshot directory on the real
+// filesystem with the default (sync-every-append) journal policy.
 func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewStoreFS(dir, fsio.OS, JournalSyncEvery)
+}
+
+// NewStoreFS opens a snapshot directory over an explicit filesystem —
+// the seam the crash-consistency tests inject faults through — with
+// the given journal sync policy, and sweeps temp files orphaned by a
+// crash mid-checkpoint (no checkpoint is in flight at open time, so
+// every *.tmp present is a stray).
+func NewStoreFS(dir string, fsys fsio.FS, journalSync string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: state dir: %w", err)
 	}
-	if strays, err := filepath.Glob(filepath.Join(dir, ".checkpoint-*.tmp")); err == nil {
-		for _, s := range strays {
-			_ = os.Remove(s)
-		}
+	strays, err := fsys.Glob(filepath.Join(dir, ".checkpoint-*.tmp"))
+	if err != nil {
+		return nil, fmt.Errorf("core: sweeping stray checkpoint temp files: %w", err)
+	}
+	for _, s := range strays {
+		_ = fsys.Remove(s)
 	}
 	return &Store{
-		dir:   dir,
-		saved: make(map[string]uint64),
-		names: make(map[string]*nameLock),
+		dir:         dir,
+		fs:          fsys,
+		journalSync: journalSync,
+		saved:       make(map[string]uint64),
+		names:       make(map[string]*nameLock),
+		health:      make(map[string]*saveHealth),
 	}, nil
 }
 
@@ -143,7 +227,7 @@ func (st *Store) HasSnapshot(name string) bool {
 	if ValidateCollectionName(name) != nil {
 		return false
 	}
-	_, err := os.Stat(st.path(name))
+	_, err := st.fs.Stat(st.path(name))
 	return err == nil
 }
 
@@ -151,11 +235,73 @@ func (st *Store) path(name string) string {
 	return filepath.Join(st.dir, name+snapshotExt)
 }
 
-// Save checkpoints one collection. The write is atomic — a temp file
-// in the same directory is renamed over the target — so a crash
-// mid-checkpoint leaves the previous snapshot intact, never a torn
-// file. Saving a collection whose epoch is unchanged since the last
-// successful save is a no-op.
+// Attach gives a freshly created collection its write-ahead journal.
+// Segment files left behind by a deleted predecessor of the same name
+// are removed (they belong to dropped state; replaying them into the
+// new collection would resurrect it), and the new journal starts past
+// the highest generation seen, so even an unremovable stray can never
+// be confused with a live segment.
+func (st *Store) Attach(c *Collection) error {
+	l := st.lockName(c.name)
+	defer st.unlockName(c.name, l)
+	segs, err := journalSegments(st.fs, st.dir, c.name)
+	if err != nil {
+		return fmt.Errorf("core: attach journal %q: %w", c.name, err)
+	}
+	gen := 1
+	for _, s := range segs {
+		_ = st.fs.Remove(s.path)
+		if s.gen >= gen {
+			gen = s.gen + 1
+		}
+	}
+	c.walMu.Lock()
+	c.journal = newJournal(st.fs, st.dir, c.name, gen, st.journalSync)
+	c.walMu.Unlock()
+	return nil
+}
+
+// journalIdle reports whether the collection's journal (if any) is
+// healthy and fully checkpointed — the condition under which an
+// unchanged-epoch Save may skip the disk write entirely.
+func (c *Collection) journalIdle() bool {
+	if c.journal == nil {
+		return true
+	}
+	if c.journal.isBroken() {
+		return false
+	}
+	frames, _ := c.journal.lag()
+	return frames == 0
+}
+
+// JournalHealth returns the collection's journal lag and broken flag
+// (zeros when the collection runs memory-only).
+func (c *Collection) JournalHealth() (frames int, bytes int64, broken bool) {
+	if c.journal == nil {
+		return 0, 0, false
+	}
+	frames, bytes = c.journal.lag()
+	return frames, bytes, c.journal.isBroken()
+}
+
+// CloseJournal closes the collection's journal file handle. Called on
+// delete and shutdown; a closed journal reopens lazily on the next
+// append, so closing is never a correctness event.
+func (c *Collection) CloseJournal() {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	if c.journal != nil {
+		c.journal.close()
+	}
+}
+
+// Save checkpoints one collection and updates its health record. The
+// write is atomic — a temp file in the same directory is renamed over
+// the target — so a crash mid-checkpoint leaves the previous snapshot
+// intact, never a torn file. Saving a collection whose epoch is
+// unchanged since the last successful save (and whose journal is
+// empty and healthy) is a no-op.
 //
 // The registry is consulted under the collection's snapshot lock,
 // which covers the whole write: a collection that was deleted (or
@@ -164,43 +310,77 @@ func (st *Store) path(name string) string {
 // checkpoint racing with DELETE can never resurrect a removed snapshot
 // — Remove holds the same lock for the unlink.
 func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
-	// The epoch is read before the state: mutations racing with the
-	// marshal may or may not be captured, but they advance the live
-	// epoch past this one, so the next Save re-writes rather than
-	// wrongly skipping.
-	epoch := c.agg.Epoch()
+	err := st.save(reg, c)
+	st.recordSave(c.name, err)
+	return err
+}
+
+func (st *Store) save(reg *CollectionRegistry, c *Collection) error {
 	l := st.lockName(c.name)
 	defer st.unlockName(c.name, l)
 	if cur, ok := reg.Get(c.name); !ok || cur != c {
 		return nil // deleted or replaced meanwhile; not ours to persist
 	}
+	epoch := c.agg.Epoch()
 	st.mu.Lock()
 	saved, ok := st.saved[c.name]
 	st.mu.Unlock()
-	if ok && saved == epoch {
+	if ok && saved == epoch && c.journalIdle() {
 		return nil
 	}
 
-	// State, round and frontier all come from ONE merged view: a round
-	// advance racing the checkpoint lands entirely in this snapshot or
-	// entirely in the next, never as a state from round r+1 under a
-	// round-r envelope.
+	// The journal rotation and the state capture happen under the
+	// exclusive WAL lock: no ingest is in flight, so the captured
+	// state is exactly the folds of the frames in generations below
+	// newGen — replay after a crash neither loses nor double-counts.
+	// The epoch is re-read under the same lock for the same reason:
+	// nothing can advance it until the lock drops, and mutations after
+	// the drop advance it past this value, so the next Save re-writes
+	// rather than wrongly skipping.
+	c.walMu.Lock()
+	epoch = c.agg.Epoch()
+	newGen := 0
+	if c.journal != nil {
+		newGen = c.journal.rotate()
+	}
 	merged, err := c.agg.MergedCached()
 	if err != nil {
+		c.walMu.Unlock()
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
 	state, err := merged.MarshalState()
 	if err != nil {
+		c.walMu.Unlock()
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
-	snap := CollectionSnapshot{Version: SnapshotVersion, Name: c.name, Config: c.cfg, State: state}
+	snap := CollectionSnapshot{
+		Version:    SnapshotVersion,
+		Name:       c.name,
+		Config:     c.cfg,
+		State:      state,
+		JournalGen: newGen,
+	}
 	if p, ok := merged.(task.Phased); ok {
 		snap.Round = p.Round()
 		if snap.Frontier, err = p.Frontier(); err != nil {
+			c.walMu.Unlock()
 			return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 		}
 	}
-	blob, err := json.Marshal(snap)
+	c.dedupMu.Lock()
+	snap.Batches = c.dedup.marks()
+	c.dedupMu.Unlock()
+	c.walMu.Unlock()
+
+	inner, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
+	}
+	blob, err := json.Marshal(snapshotFile{
+		Version:  SnapshotVersion,
+		CRC32C:   crc32.Checksum(inner, crcTable),
+		Snapshot: inner,
+	})
 	if err != nil {
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
@@ -210,7 +390,51 @@ func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
 	st.mu.Lock()
 	st.saved[c.name] = epoch
 	st.mu.Unlock()
+	// The snapshot is durable: every journal generation below newGen is
+	// superseded. Dropping them also clears the journal's broken flag —
+	// everything acknowledged is now in the snapshot, so the journal
+	// restarts with a clean slate. A drop failure leaves stale segments
+	// behind (harmless: restart skips generations below the snapshot's
+	// JournalGen) but is surfaced so the health record shows it.
+	if c.journal != nil {
+		if err := c.journal.dropBefore(newGen); err != nil {
+			return fmt.Errorf("core: checkpoint %q: dropping superseded journal segments: %w", c.name, err)
+		}
+	}
 	return nil
+}
+
+// recordSave updates the collection's checkpoint health: a success
+// clears the record, a failure increments the consecutive-failure
+// count and remembers the error.
+func (st *Store) recordSave(name string, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err == nil {
+		delete(st.health, name)
+		return
+	}
+	h := st.health[name]
+	if h == nil {
+		h = new(saveHealth)
+		st.health[name] = h
+	}
+	h.failures++
+	h.lastErr = err.Error()
+}
+
+// Health returns the collection's durability standing: checkpoint
+// failure streak plus live journal lag.
+func (st *Store) Health(c *Collection) CollectionHealth {
+	var out CollectionHealth
+	st.mu.Lock()
+	if h := st.health[c.name]; h != nil {
+		out.SaveFailures = h.failures
+		out.LastSaveError = h.lastErr
+	}
+	st.mu.Unlock()
+	out.JournalLagFrames, out.JournalLagBytes, out.JournalBroken = c.JournalHealth()
+	return out
 }
 
 // writeAtomic writes data to path via a same-directory temp file and
@@ -218,11 +442,11 @@ func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
 // it, so both the snapshot's bytes and its directory entry are durable
 // by the time the call returns.
 func (st *Store) writeAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(st.dir, ".checkpoint-*.tmp")
+	tmp, err := st.fs.CreateTemp(st.dir, ".checkpoint-*.tmp")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer st.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -234,22 +458,10 @@ func (st *Store) writeAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := st.fs.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return st.syncDir()
-}
-
-// syncDir fsyncs the state directory, making the latest rename or
-// unlink durable — without it a power loss can roll the directory
-// entry back even though the call already reported success.
-func (st *Store) syncDir() error {
-	d, err := os.Open(st.dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return st.fs.SyncDir(st.dir)
 }
 
 // SaveAll checkpoints every collection in the registry, continuing
@@ -264,17 +476,18 @@ func (st *Store) SaveAll(reg *CollectionRegistry) error {
 	return errors.Join(errs...)
 }
 
-// Remove deletes the named collection's snapshot file unless the file
-// belongs to a live collection. Callers must deregister the collection
-// first; the registry re-check under the snapshot lock then covers the
-// race where a same-named collection is re-created (and checkpointed)
-// between the caller's deregistration and this unlink. A live
-// case-variant counts only when its snapshot path resolves to the same
-// file (a case-insensitive filesystem): on a case-sensitive one the
-// variant's file is distinct and the orphan must still be unlinked, or
-// it would collide with the variant's snapshot at the next Load. The
-// saved-epoch entry is always cleared, so any later Save for the name
-// re-writes rather than skipping on a stale epoch match.
+// Remove deletes the named collection's snapshot file and journal
+// segments unless the file belongs to a live collection. Callers must
+// deregister the collection first; the registry re-check under the
+// snapshot lock then covers the race where a same-named collection is
+// re-created (and checkpointed) between the caller's deregistration
+// and this unlink. A live case-variant counts only when its snapshot
+// path resolves to the same file (a case-insensitive filesystem): on a
+// case-sensitive one the variant's file is distinct and the orphan
+// must still be unlinked, or it would collide with the variant's
+// snapshot at the next Load. The saved-epoch and health entries are
+// always cleared, so any later Save for the name re-writes rather than
+// skipping on a stale epoch match.
 func (st *Store) Remove(reg *CollectionRegistry, name string) error {
 	if err := ValidateCollectionName(name); err != nil {
 		return err
@@ -283,34 +496,103 @@ func (st *Store) Remove(reg *CollectionRegistry, name string) error {
 	defer st.unlockName(name, l)
 	st.mu.Lock()
 	delete(st.saved, name)
+	delete(st.health, name)
 	st.mu.Unlock()
 	if live, ok := reg.FoldedName(name); ok {
 		if live == name {
 			return nil // re-created meanwhile; its snapshot owns the file
 		}
-		li, lerr := os.Stat(st.path(live))
-		ni, nerr := os.Stat(st.path(name))
+		li, lerr := st.fs.Stat(st.path(live))
+		ni, nerr := st.fs.Stat(st.path(name))
 		if lerr == nil && nerr == nil && os.SameFile(li, ni) {
 			return nil // one shared file on a case-insensitive filesystem
 		}
 	}
-	if err := os.Remove(st.path(name)); err != nil {
+	if segs, err := journalSegments(st.fs, st.dir, name); err == nil {
+		for _, s := range segs {
+			_ = st.fs.Remove(s.path)
+		}
+	}
+	if err := st.fs.Remove(st.path(name)); err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil
 		}
 		return fmt.Errorf("core: remove snapshot %q: %w", name, err)
 	}
-	return st.syncDir()
+	return st.fs.SyncDir(st.dir)
+}
+
+// decodeSnapshot parses a snapshot file of any supported version,
+// verifying the version-4 wrapper's checksum. Every error it returns
+// means the file is corrupt or foreign — quarantine material, not an
+// infrastructure failure.
+func decodeSnapshot(blob []byte) (CollectionSnapshot, error) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return CollectionSnapshot{}, fmt.Errorf("not a JSON snapshot: %w", err)
+	}
+	var snap CollectionSnapshot
+	if probe.Version < SnapshotVersion {
+		// A bare pre-checksum snapshot (versions 0–3).
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return CollectionSnapshot{}, err
+		}
+		return snap, nil
+	}
+	if probe.Version > SnapshotVersion {
+		return CollectionSnapshot{}, fmt.Errorf("version %d is newer than this build's %d", probe.Version, SnapshotVersion)
+	}
+	var file snapshotFile
+	if err := json.Unmarshal(blob, &file); err != nil {
+		return CollectionSnapshot{}, err
+	}
+	if len(file.Snapshot) == 0 {
+		return CollectionSnapshot{}, errors.New("checksummed wrapper carries no snapshot")
+	}
+	if sum := crc32.Checksum(file.Snapshot, crcTable); sum != file.CRC32C {
+		return CollectionSnapshot{}, fmt.Errorf("checksum mismatch: file says %08x, contents hash to %08x", file.CRC32C, sum)
+	}
+	if err := json.Unmarshal(file.Snapshot, &snap); err != nil {
+		return CollectionSnapshot{}, err
+	}
+	if snap.Version > SnapshotVersion {
+		return CollectionSnapshot{}, fmt.Errorf("version %d is newer than this build's %d", snap.Version, SnapshotVersion)
+	}
+	return snap, nil
+}
+
+// quarantine sets a corrupt file aside under the .corrupt suffix so
+// the operator can inspect it and future Loads skip it. Failure to
+// rename is logged, not fatal: the file will fail the same way next
+// startup, which is annoying but safe.
+func (st *Store) quarantine(path string, reason error) {
+	aside := path + corruptExt
+	if err := st.fs.Rename(path, aside); err != nil {
+		log.Printf("core: quarantining %s: %v (original error: %v)", filepath.Base(path), err, reason)
+		return
+	}
+	_ = st.fs.SyncDir(st.dir)
+	log.Printf("core: quarantined %s%s: %v", filepath.Base(path), corruptExt, reason)
 }
 
 // Load restores every snapshot in the state directory into the
-// registry: each file re-creates its collection with the persisted
-// configuration and restores the aggregate state exactly. It returns
-// the restored collection names. Snapshots whose name collides with an
-// already-registered collection are an error (the caller decides which
-// side wins by ordering Load against its own Creates).
+// registry — each file re-creates its collection with the persisted
+// configuration, restores the aggregate state exactly, then replays
+// the collection's surviving journal segments on top — and returns the
+// restored collection names.
+//
+// Load is deliberately unstoppable: a snapshot that is corrupt,
+// unparseable, of a future version, or un-restorable quarantines that
+// one collection (the file moves aside under .corrupt) and every other
+// collection restores normally. Only infrastructure failures — the
+// directory itself unreadable — abort it. Snapshots whose name
+// collides with an already-registered collection are set aside under
+// .conflict (the caller decides which side wins by ordering Load
+// against its own Creates).
 func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
-	entries, err := os.ReadDir(st.dir)
+	entries, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return nil, fmt.Errorf("core: state dir: %w", err)
 	}
@@ -318,21 +600,24 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 	for _, e := range entries {
 		name, ok := strings.CutSuffix(e.Name(), snapshotExt)
 		if e.IsDir() || !ok || ValidateCollectionName(name) != nil {
-			continue // temp files, strays — not ours to interpret
+			continue // temp files, strays, quarantined files — not ours to interpret
 		}
-		blob, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
+		path := filepath.Join(st.dir, e.Name())
+		blob, err := st.fs.ReadFile(path)
 		if err != nil {
-			return restored, fmt.Errorf("core: read snapshot %q: %w", name, err)
+			// An unreadable file is an I/O problem, not corruption:
+			// renaming it would not help and might lose it. Skip it.
+			log.Printf("core: read snapshot %q: %v (skipped)", name, err)
+			continue
 		}
-		var snap CollectionSnapshot
-		if err := json.Unmarshal(blob, &snap); err != nil {
-			return restored, fmt.Errorf("core: snapshot %q: %w", name, err)
+		snap, err := decodeSnapshot(blob)
+		if err != nil {
+			st.quarantine(path, fmt.Errorf("snapshot %q: %w", name, err))
+			continue
 		}
 		if snap.Name != name {
-			return restored, fmt.Errorf("core: snapshot file %q names collection %q", e.Name(), snap.Name)
-		}
-		if snap.Version > SnapshotVersion {
-			return restored, fmt.Errorf("core: snapshot %q has version %d, newer than this build's %d", name, snap.Version, SnapshotVersion)
+			st.quarantine(path, fmt.Errorf("snapshot file %q names collection %q", e.Name(), snap.Name))
+			continue
 		}
 		c, err := reg.Create(name, snap.Config)
 		if errors.Is(err, ErrCollectionExists) {
@@ -342,20 +627,24 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 			// would hold every other collection hostage; instead the
 			// loser is set aside under a .conflict suffix — preserved
 			// for the operator, ignored by future Loads.
-			aside := filepath.Join(st.dir, e.Name()+".conflict")
-			if rerr := os.Rename(filepath.Join(st.dir, e.Name()), aside); rerr != nil {
-				return restored, fmt.Errorf("core: restore %q: %w (and could not set snapshot aside: %v)", name, err, rerr)
+			aside := path + ".conflict"
+			if rerr := st.fs.Rename(path, aside); rerr != nil {
+				log.Printf("core: restore %q: %v (and could not set snapshot aside: %v)", name, err, rerr)
+				continue
 			}
-			_ = st.syncDir()
+			_ = st.fs.SyncDir(st.dir)
+			log.Printf("core: restore %q: %v (snapshot set aside as %s)", name, err, filepath.Base(aside))
 			continue
 		}
 		if err != nil {
-			return restored, fmt.Errorf("core: restore %q: %w", name, err)
+			st.quarantine(path, fmt.Errorf("snapshot %q: %w", name, err))
+			continue
 		}
 		if len(snap.State) > 0 {
 			if err := c.agg.RestoreState(snap.State); err != nil {
 				reg.Delete(name) // don't leave a half-restored collection serving
-				return restored, fmt.Errorf("core: restore %q: %w", name, err)
+				st.quarantine(path, fmt.Errorf("snapshot %q: %w", name, err))
+				continue
 			}
 		}
 		// Cross-check the envelope's recorded round against the
@@ -365,13 +654,165 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 		// rounds.
 		if c.agg.Phased() && snap.Round != c.agg.Round() {
 			reg.Delete(name)
-			return restored, fmt.Errorf("core: restore %q: snapshot envelope says round %d but the state restores to round %d",
-				name, snap.Round, c.agg.Round())
+			st.quarantine(path, fmt.Errorf("snapshot %q: envelope says round %d but the state restores to round %d",
+				name, snap.Round, c.agg.Round()))
+			continue
 		}
-		st.mu.Lock()
-		st.saved[name] = c.agg.Epoch()
-		st.mu.Unlock()
+		replayed, err := st.replayJournal(c, snap)
+		if err != nil {
+			// Journal infrastructure failure (segments unlistable):
+			// the snapshot state itself is sound, but acknowledged
+			// reports may be missing from it. Surface, keep serving.
+			log.Printf("core: replay journal %q: %v", name, err)
+		}
+		if replayed == 0 {
+			// Nothing beyond the snapshot: the next checkpoint may
+			// skip on an unchanged epoch. With replayed frames the
+			// epoch entry is withheld so the next checkpoint persists
+			// the replayed state and truncates the journal.
+			st.mu.Lock()
+			st.saved[name] = c.agg.Epoch()
+			st.mu.Unlock()
+		}
 		restored = append(restored, name)
 	}
+	st.sweepOrphanJournals(reg)
 	return restored, nil
+}
+
+// replayJournal folds the collection's surviving journal segments —
+// acknowledged work that missed the last checkpoint — into the freshly
+// restored aggregator, re-seeds the dedup memory, and attaches a live
+// journal whose generation is past every segment seen. It returns how
+// many frames were replayed.
+//
+// Replay never refuses startup: the first bad frame (torn tail,
+// checksum mismatch, or a record the aggregator rejects) truncates its
+// segment at the last sound frame, and any later segments — written
+// after a frame that never became durable, so of uncertain lineage —
+// are quarantined.
+func (st *Store) replayJournal(c *Collection, snap CollectionSnapshot) (int, error) {
+	c.dedupMu.Lock()
+	c.dedup.seed(snap.Batches)
+	c.dedupMu.Unlock()
+
+	segs, err := journalSegments(st.fs, st.dir, c.name)
+	if err != nil {
+		c.walMu.Lock()
+		c.journal = newJournal(st.fs, st.dir, c.name, max(snap.JournalGen, 1), st.journalSync)
+		c.walMu.Unlock()
+		return 0, err
+	}
+	gen := max(snap.JournalGen, 1)
+	replayed := 0
+	stopped := false
+	j := newJournal(st.fs, st.dir, c.name, gen, st.journalSync) // gen re-raised below
+	for _, s := range segs {
+		if s.gen >= gen {
+			gen = s.gen + 1
+		}
+		if s.gen < snap.JournalGen {
+			// Folded into the snapshot already; a crash between the
+			// snapshot rename and the segment drop leaves these behind.
+			_ = st.fs.Remove(s.path)
+			continue
+		}
+		if stopped {
+			st.quarantine(s.path, errors.New("journal segment follows a truncated one"))
+			continue
+		}
+		data, err := st.fs.ReadFile(s.path)
+		if err != nil {
+			log.Printf("core: read journal segment %s: %v (later segments quarantined)", filepath.Base(s.path), err)
+			stopped = true
+			continue
+		}
+		frames, bytes, off := 0, int64(0), 0
+		for off < len(data) {
+			rec, n, ok := nextFrame(data[off:])
+			if !ok {
+				break
+			}
+			if err := c.replayRecord(rec); err != nil {
+				log.Printf("core: replay %s at offset %d: %v (treated as corruption)", filepath.Base(s.path), off, err)
+				break
+			}
+			off += n
+			frames++
+			bytes += int64(n)
+			replayed++
+		}
+		if off < len(data) {
+			// Torn or corrupt tail: everything before off is applied
+			// and sound, everything after is untrusted. Cut it away so
+			// the segment on disk matches what was replayed.
+			if err := st.fs.Truncate(s.path, int64(off)); err != nil {
+				log.Printf("core: truncate %s to %d bytes: %v", filepath.Base(s.path), off, err)
+			}
+			stopped = true
+		}
+		if frames > 0 {
+			j.addExisting(s.gen, frames, bytes)
+		}
+	}
+	j.gen = gen
+	c.walMu.Lock()
+	c.journal = j
+	c.walMu.Unlock()
+	return replayed, nil
+}
+
+// replayRecord applies one journal record to the restored aggregator,
+// mirroring exactly what the live ingest path did when it wrote the
+// frame.
+func (c *Collection) replayRecord(rec journalRecord) error {
+	switch rec.Kind {
+	case recordBatch:
+		accepted, rejectErr := c.agg.AddBatch(rec.Envs)
+		if rejectErr != nil && IsInternal(rejectErr) {
+			return rejectErr
+		}
+		if rec.ID != "" {
+			c.dedupMu.Lock()
+			c.dedup.complete(BatchMark{ID: rec.ID, Accepted: accepted, Rejected: len(rec.Envs) - accepted})
+			c.dedupMu.Unlock()
+		}
+		return nil
+	case recordAdvance:
+		// The frame records which round was closed; replay refuses to
+		// close any other round, so a frame applied out of order (or
+		// against the wrong snapshot) surfaces instead of silently
+		// splitting users across rounds.
+		return c.agg.AdvanceExpecting(rec.Round)
+	default:
+		return fmt.Errorf("unknown journal record kind %q", rec.Kind)
+	}
+}
+
+// sweepOrphanJournals quarantines journal segments whose collection
+// did not restore: with no snapshot to anchor them (the collection was
+// never checkpointed, or its snapshot was itself quarantined) their
+// replay base is unknown, and folding them into anything would be a
+// guess. The bytes are preserved under .corrupt for the operator.
+func (st *Store) sweepOrphanJournals(reg *CollectionRegistry) {
+	matches, err := st.fs.Glob(filepath.Join(st.dir, "*.journal.*"))
+	if err != nil {
+		log.Printf("core: sweeping orphan journals: %v", err)
+		return
+	}
+	for _, m := range matches {
+		base := filepath.Base(m)
+		idx := strings.LastIndex(base, ".journal.")
+		if idx <= 0 {
+			continue
+		}
+		if _, err := parseGen(base[idx+len(".journal."):]); err != nil {
+			continue // quarantined or foreign file; not a live segment
+		}
+		owner := base[:idx]
+		if _, ok := reg.Get(owner); ok {
+			continue
+		}
+		st.quarantine(m, fmt.Errorf("journal segment for unrestored collection %q", owner))
+	}
 }

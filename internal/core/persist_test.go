@@ -195,16 +195,23 @@ func TestStoreRemoveAndCorruptSnapshot(t *testing.T) {
 		t.Fatal("snapshot file survived Remove")
 	}
 
-	// A torn or corrupt snapshot fails the load loudly instead of
-	// restoring garbage counts.
+	// A torn or corrupt snapshot is quarantined under .corrupt instead
+	// of aborting the load or restoring garbage counts.
 	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"name":"bad","config"`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := NewStore(dir); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Load(NewCollectionRegistry()); err == nil {
-		t.Fatal("corrupt snapshot loaded without error")
+	restored, err := store.Load(NewCollectionRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("restored %v from a corrupt-only state dir", restored)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.json"+corruptExt)); err != nil {
+		t.Fatal("corrupt snapshot was not set aside under .corrupt:", err)
 	}
 }
 

@@ -2,9 +2,9 @@ package core
 
 // Phase-aware task coverage: the interactive heavy-hitter protocol end
 // to end over the HTTP surface (frontier → report → advance, manual
-// and quota-driven), round-aware sharding equivalence, the version-3
-// checkpoint envelope (round + frontier, forward compat from v2 and
-// untagged snapshots, version-4 refusal), mid-round kill → restart →
+// and quota-driven), round-aware sharding equivalence, the checkpoint
+// envelope (round + frontier, forward compat from v2 and untagged
+// snapshots, future-version quarantine), mid-round kill → restart →
 // finish-protocol, the estimate-response cache, and the
 // advance/checkpoint/delete race regression.
 
@@ -360,17 +360,10 @@ func TestPhasedMidRoundRestartResumesProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The v3 envelope carries the round and the frontier it was
-	// captured at.
-	blob, err := os.ReadFile(filepath.Join(dir, "hh.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var snap CollectionSnapshot
-	if err := json.Unmarshal(blob, &snap); err != nil {
-		t.Fatal(err)
-	}
-	if snap.Version != 3 || snap.Round != 1 {
+	// The envelope carries the round and the frontier it was captured
+	// at.
+	snap := readSnapshotFile(t, filepath.Join(dir, "hh.json"))
+	if snap.Version != SnapshotVersion || snap.Round != 1 {
 		t.Fatalf("snapshot version %d round %d", snap.Version, snap.Round)
 	}
 	if !bytes.Equal(snap.Frontier, wantFrontier) {
@@ -429,10 +422,11 @@ func TestPhasedMidRoundRestartResumesProtocol(t *testing.T) {
 	}
 }
 
-// TestSnapshotV3RoundTripPerTask pins the version-3 envelope for every
-// task family: each snapshot is written as version 3 and restores to
-// byte-identical estimates (one-shot tasks carry no round/frontier).
-func TestSnapshotV3RoundTripPerTask(t *testing.T) {
+// TestSnapshotRoundTripPerTask pins the current envelope for every
+// task family: each snapshot is written at the current version and
+// restores to byte-identical estimates (one-shot tasks carry no
+// round/frontier).
+func TestSnapshotRoundTripPerTask(t *testing.T) {
 	dir := t.TempDir()
 	store, err := NewStore(dir)
 	if err != nil {
@@ -465,16 +459,9 @@ func TestSnapshotV3RoundTripPerTask(t *testing.T) {
 	}
 
 	for _, name := range []string{"freqs", "means", "sketches", "hitters"} {
-		blob, err := os.ReadFile(filepath.Join(dir, name+".json"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var snap CollectionSnapshot
-		if err := json.Unmarshal(blob, &snap); err != nil {
-			t.Fatal(err)
-		}
-		if snap.Version != 3 {
-			t.Errorf("%s snapshot version %d want 3", name, snap.Version)
+		snap := readSnapshotFile(t, filepath.Join(dir, name+".json"))
+		if snap.Version != SnapshotVersion {
+			t.Errorf("%s snapshot version %d want %d", name, snap.Version, SnapshotVersion)
 		}
 		if phased := name == "hitters"; (len(snap.Frontier) > 0) != phased {
 			t.Errorf("%s frontier presence = %v, want %v", name, len(snap.Frontier) > 0, phased)
@@ -511,8 +498,9 @@ func TestSnapshotV3RoundTripPerTask(t *testing.T) {
 }
 
 // TestSnapshotV2RestoresUnchanged is the forward-compat satellite: a
-// version-2 (PR 4-era) snapshot — task-tagged, no round/frontier —
-// restores bit-identically and is re-written as version 3.
+// version-2 (PR 4-era) snapshot — task-tagged, no round/frontier,
+// no checksum wrapper — restores bit-identically and is re-written at
+// the current version.
 func TestSnapshotV2RestoresUnchanged(t *testing.T) {
 	dir := t.TempDir()
 	oracle, err := NewOracle(MechanismOLH, PrivacyParams{Epsilon: 2, Domain: 8}, ldprand.NewSplitMix64(111))
@@ -551,25 +539,19 @@ func TestSnapshotV2RestoresUnchanged(t *testing.T) {
 	if err := store.Save(reg, c); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := os.ReadFile(filepath.Join(dir, "legacy2.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var snap CollectionSnapshot
-	if err := json.Unmarshal(blob, &snap); err != nil {
-		t.Fatal(err)
-	}
-	if snap.Version != 3 {
-		t.Fatalf("re-written snapshot version %d want 3", snap.Version)
+	snap := readSnapshotFile(t, filepath.Join(dir, "legacy2.json"))
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("re-written snapshot version %d want %d", snap.Version, SnapshotVersion)
 	}
 }
 
-// TestSnapshotVersion4Refused pins the version guard at exactly one
-// past the current version — the first envelope this build must not
-// guess at.
-func TestSnapshotVersion4Refused(t *testing.T) {
+// TestSnapshotVersion5Quarantined pins the version guard at exactly
+// one past the current version — the first envelope this build must
+// not guess at. The file is set aside, not restored, and startup
+// continues.
+func TestSnapshotVersion5Quarantined(t *testing.T) {
 	dir := t.TempDir()
-	blob := []byte(`{"version":4,"name":"next","config":{"mechanism":"GRR","epsilon":1,"domain":4},"state":null}`)
+	blob := []byte(`{"version":5,"name":"next","config":{"mechanism":"GRR","epsilon":1,"domain":4},"state":null}`)
 	if err := os.WriteFile(filepath.Join(dir, "next.json"), blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -577,15 +559,22 @@ func TestSnapshotVersion4Refused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Load(NewCollectionRegistry()); err == nil {
-		t.Fatal("version-4 snapshot loaded without error")
+	restored, err := store.Load(NewCollectionRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("restored %v from a future-version snapshot", restored)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "next.json"+corruptExt)); err != nil {
+		t.Fatal("future-version snapshot was not quarantined:", err)
 	}
 }
 
-// TestTornRoundSnapshotRefused pins the round cross-check: a phased
-// envelope whose recorded round disagrees with its state blob must not
-// restore.
-func TestTornRoundSnapshotRefused(t *testing.T) {
+// TestTornRoundSnapshotQuarantined pins the round cross-check: a
+// phased envelope whose recorded round disagrees with its state blob
+// must not restore — it is set aside under .corrupt instead.
+func TestTornRoundSnapshotQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	store, err := NewStore(dir)
 	if err != nil {
@@ -600,28 +589,25 @@ func TestTornRoundSnapshotRefused(t *testing.T) {
 	if err := store.SaveAll(reg); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := os.ReadFile(filepath.Join(dir, "torn.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var snap CollectionSnapshot
-	if err := json.Unmarshal(blob, &snap); err != nil {
-		t.Fatal(err)
-	}
+	snap := readSnapshotFile(t, filepath.Join(dir, "torn.json"))
 	snap.Round++ // the envelope now claims a round the state is not at
-	forged, err := json.Marshal(snap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "torn.json"), forged, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	// Re-wrap with a valid checksum: the corruption under test is the
+	// round field, not the framing.
+	writeSnapshotFile(t, filepath.Join(dir, "torn.json"), snap)
 	store2, err := NewStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store2.Load(NewCollectionRegistry()); err == nil {
-		t.Fatal("torn-round snapshot loaded without error")
+	reg2 := NewCollectionRegistry()
+	restored, err := store2.Load(reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 || reg2.Len() != 0 {
+		t.Fatalf("restored %v from a torn-round snapshot", restored)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn.json"+corruptExt)); err != nil {
+		t.Fatal("torn-round snapshot was not quarantined:", err)
 	}
 }
 

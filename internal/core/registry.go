@@ -53,11 +53,25 @@ func FreqCollectionConfig(mechanism string, p PrivacyParams, shards int) Collect
 }
 
 // Collection is one named survey: an independent sharded aggregator
-// plus the configuration it was created with.
+// plus the configuration it was created with, and the crash-safety
+// state the write-ahead ingest path maintains (see journal.go).
 type Collection struct {
 	name string
 	cfg  CollectionConfig
 	agg  *ShardedAggregator
+
+	// walMu orders journal appends against checkpoint rotation and
+	// round advances: ingests hold it shared around append+fold, so an
+	// exclusive holder (checkpoint, advance) knows every journaled
+	// frame is folded and no fold straddles the boundary.
+	walMu sync.RWMutex
+	// journal is the collection's write-ahead log; nil when the server
+	// runs memory-only (no Store attached).
+	journal *journal
+	// dedup remembers recently acknowledged batch IDs so client
+	// retries are answered from the record instead of re-aggregated.
+	dedupMu sync.Mutex
+	dedup   *dedupLRU
 }
 
 // Name returns the collection's registry name.
@@ -145,7 +159,7 @@ func (r *CollectionRegistry) Create(name string, cfg CollectionConfig) (*Collect
 	if err != nil {
 		return nil, err
 	}
-	c := &Collection{name: name, cfg: cfg, agg: agg}
+	c := &Collection{name: name, cfg: cfg, agg: agg, dedup: newDedupLRU()}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if taken, exists := r.folded[strings.ToLower(name)]; exists {

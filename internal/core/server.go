@@ -46,7 +46,15 @@ const (
 type Service struct {
 	reg   *CollectionRegistry
 	store *Store // nil = memory-only
+	// unhealthyAfter is the consecutive-checkpoint-failure count past
+	// which GET /healthz answers 503 for the process.
+	unhealthyAfter int
 }
+
+// DefaultUnhealthyAfter is the /healthz failure-streak threshold when
+// the operator sets none: transient single failures (a full disk that
+// clears, a slow fsync) stay "ok", a stuck disk does not.
+const DefaultUnhealthyAfter = 3
 
 // NewService returns a single-survey frequency collection service for
 // the named mechanism with one aggregation shard per core (GOMAXPROCS).
@@ -71,7 +79,16 @@ func NewServiceSharded(mechanism string, p PrivacyParams, shards int) (*Service,
 // A non-nil store makes the collection-management routes persistent:
 // creates are checkpointed immediately and deletes remove the snapshot.
 func NewMultiService(reg *CollectionRegistry, store *Store) *Service {
-	return &Service{reg: reg, store: store}
+	return &Service{reg: reg, store: store, unhealthyAfter: DefaultUnhealthyAfter}
+}
+
+// SetUnhealthyAfter overrides the /healthz checkpoint-failure-streak
+// threshold (n <= 0 restores the default).
+func (s *Service) SetUnhealthyAfter(n int) {
+	if n <= 0 {
+		n = DefaultUnhealthyAfter
+	}
+	s.unhealthyAfter = n
 }
 
 // Registry exposes the service's collection registry.
@@ -112,6 +129,8 @@ func (s *Service) Handler() http.Handler {
 	// Interactive (phased) protocol plane.
 	mux.HandleFunc("GET /collections/{name}/frontier", s.withCollection(s.handleFrontier))
 	mux.HandleFunc("POST /collections/{name}/advance", s.withCollection(s.handleAdvance))
+	// Operational plane.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -175,9 +194,14 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collec
 	if !decodeBody(w, r, maxReportBytes, &raw, "report") {
 		return
 	}
-	if err := c.agg.Add(raw); err != nil {
+	if err := c.IngestReport(raw); err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, task.ErrWrongRound) {
+		switch {
+		case errors.Is(err, ErrJournal):
+			// The report could not be made durable: not acknowledged,
+			// retry later — the server's problem, not the envelope's.
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, task.ErrWrongRound):
 			// The client's protocol view is stale (the round advanced
 			// under it), not malformed: 409 tells it to refetch the
 			// frontier and re-report, where a 400 would tell it to
@@ -195,28 +219,53 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collec
 // were folded in, and the rejection reasons for the rest. A batch is
 // not atomic — valid envelopes are aggregated even when others in the
 // same batch are rejected (the response status is 400 in that case so
-// simple clients still notice).
+// simple clients still notice). Replayed marks a deduplicated retry:
+// the batch's Idempotency-Key was seen before, the recorded outcome is
+// returned and nothing was re-aggregated.
 type BatchResponse struct {
 	Accepted int    `json:"accepted"`
 	Rejected int    `json:"rejected"`
+	Replayed bool   `json:"replayed,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
+// maxBatchIDBytes caps the Idempotency-Key header: the key is stored
+// per entry in the dedup memory and in every snapshot, so a client
+// must not be able to inflate either with a kilobyte key.
+const maxBatchIDBytes = 128
+
 func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *Collection) {
+	id := r.Header.Get("Idempotency-Key")
+	if len(id) > maxBatchIDBytes {
+		http.Error(w, fmt.Sprintf("Idempotency-Key exceeds %d bytes", maxBatchIDBytes), http.StatusBadRequest)
+		return
+	}
 	var batch []json.RawMessage
 	if !decodeBody(w, r, maxBatchBytes, &batch, "batch") {
 		return
 	}
-	accepted, err := c.agg.AddBatch(batch)
-	if accepted > 0 {
+	res, err := c.IngestBatch(id, batch)
+	if err != nil {
+		if errors.Is(err, ErrBatchInFlight) {
+			// The first attempt with this key is still processing —
+			// the retry that raced it should back off and re-send.
+			w.Header().Set("Retry-After", "1")
+		}
+		// Both failure classes (journal down, duplicate in flight) are
+		// server-side and transient: 503 tells the client to retry,
+		// which the dedup memory makes safe.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if res.Accepted > 0 && !res.Replayed {
 		s.maybeAutoAdvance(c)
 	}
-	resp := BatchResponse{Accepted: accepted, Rejected: len(batch) - accepted}
+	resp := BatchResponse{Accepted: res.Accepted, Rejected: res.Rejected, Replayed: res.Replayed}
 	status := http.StatusAccepted
-	if err != nil {
-		resp.Error = err.Error()
+	if res.RejectErr != nil {
+		resp.Error = res.RejectErr.Error()
 		status = http.StatusBadRequest
-		if accepted == 0 && errors.Is(err, task.ErrWrongRound) {
+		if res.Accepted == 0 && errors.Is(res.RejectErr, task.ErrWrongRound) {
 			// The whole batch was privatized against a stale round:
 			// signal "refetch the frontier", as the single-report
 			// route does.
@@ -231,10 +280,7 @@ func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *C
 // surfaced to the reporting client — its report was accepted; the
 // round boundary is the server's business.
 func (s *Service) maybeAutoAdvance(c *Collection) {
-	if c.cfg.AdvanceQuota <= 0 || !c.agg.Phased() {
-		return
-	}
-	advanced, err := c.agg.MaybeAdvance(c.cfg.AdvanceQuota)
+	advanced, err := c.MaybeAdvance(c.cfg.AdvanceQuota)
 	if err != nil {
 		log.Printf("core: auto-advance of collection %q: %v", c.name, err)
 		return
@@ -255,6 +301,36 @@ func (s *Service) checkpointAfterAdvance(c *Collection) {
 	if err := s.store.Save(s.reg, c); err != nil {
 		log.Printf("core: checkpoint after advance of collection %q: %v", c.name, err)
 	}
+}
+
+// HealthResponse is the JSON body of GET /healthz: the process-level
+// verdict plus each collection's durability standing. Status is
+// "degraded" (and the HTTP status 503) when any collection's
+// checkpoint-failure streak passes the threshold or its journal is
+// refusing appends — the states where the server is up but quietly not
+// durable, which a liveness probe alone would never notice.
+type HealthResponse struct {
+	Status      string                      `json:"status"`
+	Collections map[string]CollectionHealth `json:"collections,omitempty"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Collections: make(map[string]CollectionHealth)}
+	status := http.StatusOK
+	for _, c := range s.reg.Collections() {
+		var h CollectionHealth
+		if s.store != nil {
+			h = s.store.Health(c)
+		} else {
+			h.JournalLagFrames, h.JournalLagBytes, h.JournalBroken = c.JournalHealth()
+		}
+		if h.SaveFailures >= s.unhealthyAfter || h.JournalBroken {
+			resp.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+		resp.Collections[c.Name()] = h
+	}
+	writeJSON(w, status, resp)
 }
 
 // EstimateResponse is the JSON body of /estimate: collection metadata
@@ -366,7 +442,7 @@ func (s *Service) handleAdvance(w http.ResponseWriter, r *http.Request, c *Colle
 			expect = *req.Round
 		}
 	}
-	if err := c.agg.AdvanceExpecting(expect); err != nil {
+	if err := c.AdvanceExpecting(expect); err != nil {
 		if errors.Is(err, ErrNotPhased) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -551,6 +627,13 @@ func (s *Service) handleCollectionCreate(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	if s.store != nil {
+		// Give the collection its write-ahead journal before anything
+		// is ingested. A failed attach leaves it journal-less (reports
+		// are still durable at each checkpoint tick, just not between
+		// ticks) — worth serving, worth logging.
+		if err := s.store.Attach(c); err != nil {
+			log.Printf("core: collection %q created without a journal: %v", c.name, err)
+		}
 		// Persist the (empty) collection now, so its configuration
 		// survives a restart that beats the first checkpoint tick.
 		if err := s.store.Save(s.reg, c); err != nil {
@@ -595,6 +678,7 @@ func (s *Service) handleCollectionDelete(w http.ResponseWriter, r *http.Request)
 		http.Error(w, "the default collection cannot be deleted", http.StatusBadRequest)
 		return
 	}
+	c, hadCollection := s.reg.Get(name)
 	if !s.reg.Delete(name) {
 		// A previous DELETE may have deregistered the collection and
 		// then failed the snapshot unlink (answered 500). Retries must
@@ -613,6 +697,11 @@ func (s *Service) handleCollectionDelete(w http.ResponseWriter, r *http.Request)
 		}
 		http.Error(w, fmt.Sprintf("unknown collection %q", name), http.StatusNotFound)
 		return
+	}
+	if hadCollection {
+		// Release the journal's file handle; Store.Remove unlinks the
+		// segments along with the snapshot.
+		c.CloseJournal()
 	}
 	if s.store != nil {
 		if err := s.store.Remove(s.reg, name); err != nil {

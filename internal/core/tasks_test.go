@@ -285,14 +285,7 @@ func TestPreTaskSnapshotRestoresAsFreq(t *testing.T) {
 	if err := store.Save(reg, c); err != nil {
 		t.Fatal(err)
 	}
-	var snap CollectionSnapshot
-	blob, err := os.ReadFile(filepath.Join(dir, "legacy.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.Unmarshal(blob, &snap); err != nil {
-		t.Fatal(err)
-	}
+	snap := readSnapshotFile(t, filepath.Join(dir, "legacy.json"))
 	if snap.Version != SnapshotVersion {
 		t.Fatalf("re-written snapshot has version %d want %d", snap.Version, SnapshotVersion)
 	}
@@ -372,7 +365,7 @@ func TestTaggedSnapshotRoundTripsPerTask(t *testing.T) {
 }
 
 // TestFutureSnapshotVersionRefused pins the version guard: a snapshot
-// from a newer build fails the load instead of being misread.
+// from a newer build is quarantined instead of being misread.
 func TestFutureSnapshotVersionRefused(t *testing.T) {
 	dir := t.TempDir()
 	blob := []byte(`{"version":99,"name":"tomorrow","config":{"mechanism":"GRR","epsilon":1,"domain":4},"state":null}`)
@@ -383,8 +376,15 @@ func TestFutureSnapshotVersionRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Load(NewCollectionRegistry()); err == nil {
-		t.Fatal("future-version snapshot loaded without error")
+	restored, err := store.Load(NewCollectionRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("restored %v from a future-version snapshot", restored)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tomorrow.json"+corruptExt)); err != nil {
+		t.Fatal("future-version snapshot was not quarantined:", err)
 	}
 }
 

@@ -1,0 +1,212 @@
+package fsio
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the base of every error a Fault injects; tests (and
+// the serving layer's fault suite) match it with errors.Is.
+var ErrInjected = errors.New("fsio: injected fault")
+
+// ErrCrashed is returned by every mutating operation after a crash
+// fault has fired: the simulated process is dead, nothing it does
+// reaches the disk anymore.
+var ErrCrashed = fmt.Errorf("%w: filesystem crashed", ErrInjected)
+
+// Fault wraps an FS and injects a failure at one chosen mutating
+// operation. Three modes:
+//
+//   - FailAt(n): operation n fails once (an ENOSPC-style transient);
+//     everything before and after succeeds. The process under test
+//     keeps running and must degrade gracefully.
+//   - CrashAt(n): operation n and every later mutation fail — the
+//     process "died" at that point. The test then restarts over the
+//     directory exactly as the crash left it.
+//   - CrashTornAt(n): like CrashAt, but when operation n is a file
+//     write, the first half of its bytes reach the file before the
+//     crash — a torn write, the hardest case for framed formats.
+//
+// Mutating operations are counted in call order (creates, writes,
+// syncs, renames, removes, truncates, mkdirs); reads are never counted
+// and never fail, so a post-crash "restart" can always inspect the
+// directory. Ops() after a disarmed dry run reports how many fault
+// points a scenario has, which is what lets a test sweep all of them.
+type Fault struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int
+	failAt  int
+	crash   bool
+	torn    bool
+	fired   bool
+	crashed bool
+}
+
+// NewFault returns a disarmed Fault over inner: all operations pass
+// through and are counted.
+func NewFault(inner FS) *Fault {
+	return &Fault{inner: inner, failAt: -1}
+}
+
+// Ops returns how many mutating operations have been observed.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired reports whether the armed fault has triggered.
+func (f *Fault) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+func (f *Fault) arm(n int, crash, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops, f.failAt, f.crash, f.torn, f.fired, f.crashed = 0, n, crash, torn, false, false
+}
+
+// FailAt arms a single transient failure at mutating operation n
+// (0-based), resetting the operation counter.
+func (f *Fault) FailAt(n int) { f.arm(n, false, false) }
+
+// CrashAt arms a crash at mutating operation n, resetting the
+// operation counter: that operation and every later one fail.
+func (f *Fault) CrashAt(n int) { f.arm(n, true, false) }
+
+// CrashTornAt arms a crash at mutating operation n that, when the
+// operation is a file write, lets half the bytes land first.
+func (f *Fault) CrashTornAt(n int) { f.arm(n, true, true) }
+
+// Disarm clears any armed fault and resets the operation counter, so
+// the same Fault can run a counting dry run.
+func (f *Fault) Disarm() { f.arm(-1, false, false) }
+
+// step counts one mutating operation and decides its fate: nil to
+// proceed, an error to inject. The second return is true when the op
+// is the armed one and writes should tear.
+func (f *Fault) step() (error, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed, false
+	}
+	n := f.ops
+	f.ops++
+	if n == f.failAt {
+		f.fired = true
+		if f.crash {
+			f.crashed = true
+			return fmt.Errorf("%w (crash at op %d)", ErrInjected, n), f.torn
+		}
+		return fmt.Errorf("%w (transient fault at op %d)", ErrInjected, n), false
+	}
+	return nil, false
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := f.step(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.step(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *Fault) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	// Opening for writing can create the file: a mutation. Read-only
+	// opens pass through so post-crash inspection always works.
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE) != 0 {
+		if err, _ := f.step(); err != nil {
+			return nil, err
+		}
+	}
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if err, _ := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(path string) error {
+	if err, _ := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *Fault) Truncate(path string, size int64) error {
+	if err, _ := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *Fault) SyncDir(path string) error {
+	if err, _ := f.step(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+func (f *Fault) ReadDir(path string) ([]fs.DirEntry, error) { return f.inner.ReadDir(path) }
+func (f *Fault) ReadFile(path string) ([]byte, error)       { return f.inner.ReadFile(path) }
+func (f *Fault) Stat(path string) (fs.FileInfo, error)      { return f.inner.Stat(path) }
+func (f *Fault) Glob(pattern string) ([]string, error)      { return f.inner.Glob(pattern) }
+
+// faultFile routes a file's writes and syncs through the fault
+// counter. Close is deliberately not a fault point — durability
+// decisions ride on Sync, and keeping Close infallible roughly halves
+// the sweep space without losing a failure mode the formats care
+// about.
+type faultFile struct {
+	f     *Fault
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, torn := ff.f.step()
+	if err != nil {
+		if torn && len(p) > 1 {
+			// The torn half still lands in the file — what a real
+			// power cut mid-write leaves behind.
+			n, _ := ff.inner.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.f.step(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+func (ff *faultFile) Name() string { return ff.inner.Name() }
