@@ -61,6 +61,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -308,43 +309,80 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 		return err
 	}
 	n, sent, failed := len(values), 0, 0
-	for !f.Done {
-		reporter, err := hhtask.NewClient(f.Epsilon, f.Bits, f.Levels, nil)
-		if err != nil {
-			return fmt.Errorf("frontier %+v: %w", f, err)
-		}
-		// One disjoint user group per round: each user spends its full
-		// ε on exactly one report in exactly one round.
-		group := values[f.Round*n/f.Levels : (f.Round+1)*n/f.Levels]
-		pending := make([]json.RawMessage, 0, min(batchSize, len(group)+1))
-		flush := func() {
+	// reportRound privatizes users against round and ships them in
+	// batches. When a batch bounces with 409 the round moved mid-upload:
+	// the refused batch plus the not-yet-reported tail have spent no
+	// budget, so they come back as carry for the caller to re-privatize
+	// against the refetched frontier (a report re-randomized for the new
+	// round is a fresh ε-spend of the same single budget, since the stale
+	// one was never aggregated).
+	reportRound := func(reporter *hhtask.Client, users []uint64, round int) (carry []uint64) {
+		pending := make([]json.RawMessage, 0, min(batchSize, len(users)))
+		pendingUsers := make([]uint64, 0, min(batchSize, len(users)))
+		flush := func(tail []uint64) []uint64 {
 			if len(pending) == 0 {
-				return
+				return nil
 			}
 			got, err := postBatch(c, base, pending, retries)
+			if errors.Is(err, errStaleRound) {
+				left := append(append([]uint64(nil), pendingUsers...), tail...)
+				fmt.Fprintf(os.Stderr, "ldpclient: round %d: %v; re-reporting %d users against the new round\n",
+					round, err, len(left))
+				return left
+			}
 			sent += got
 			failed += len(pending) - got
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "ldpclient: round %d: %v\n", f.Round, err)
+				fmt.Fprintf(os.Stderr, "ldpclient: round %d: %v\n", round, err)
 			}
-			pending = pending[:0]
+			pending, pendingUsers = pending[:0], pendingUsers[:0]
+			return nil
 		}
-		for _, v := range group {
-			env, err := reporter.Report(v, f.Round)
+		for i, v := range users {
+			env, err := reporter.Report(v, round)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ldpclient: skipping %d: %v\n", v, err)
 				failed++
 				continue
 			}
 			pending = append(pending, env)
+			pendingUsers = append(pendingUsers, v)
 			if len(pending) >= batchSize {
-				flush()
+				if left := flush(users[i+1:]); left != nil {
+					return left
+				}
 			}
 		}
-		flush()
-		fmt.Printf("ldpclient: round %d/%d: reported %d users at prefix length %d\n",
-			f.Round+1, f.Levels, len(group), f.PrefixLen)
+		return flush(nil)
+	}
+	var carry []uint64
+	for !f.Done {
+		reporter, err := hhtask.NewClient(f.Epsilon, f.Bits, f.Levels, nil)
+		if err != nil {
+			return fmt.Errorf("frontier %+v: %w", f, err)
+		}
+		// One disjoint user group per round — each user spends its full
+		// ε on exactly one report in exactly one round — plus any users
+		// carried out of a round that closed under them.
+		group := values[f.Round*n/f.Levels : (f.Round+1)*n/f.Levels]
+		if len(carry) > 0 {
+			group = append(append([]uint64(nil), carry...), group...)
+			carry = nil
+		}
 		prev := f.Round
+		if carry = reportRound(reporter, group, prev); carry != nil {
+			// The round closed mid-upload; pick up the new round and
+			// fold the unspent users into its group.
+			if f, err = fetchFrontier(c, base); err != nil {
+				return err
+			}
+			if !f.Done && f.Round == prev {
+				return fmt.Errorf("server refused round-%d reports as stale but still publishes round %d", prev, prev)
+			}
+			continue
+		}
+		fmt.Printf("ldpclient: round %d/%d: reported %d users at prefix length %d\n",
+			prev+1, f.Levels, len(group), f.PrefixLen)
 		if advance {
 			// Conditional on the round we reported into: if another
 			// driver (or the server's quota) closed it first, the 409
@@ -360,6 +398,12 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 		if !f.Done && f.Round == prev {
 			return fmt.Errorf("round %d did not advance — enable -hh-advance or configure the collection's advance_quota", prev)
 		}
+	}
+	if len(carry) > 0 {
+		// The protocol completed before the carried users found a round
+		// to report into; their budget is unspent but the survey is over.
+		fmt.Fprintf(os.Stderr, "ldpclient: protocol completed before %d carried users could report\n", len(carry))
+		failed += len(carry)
 	}
 	fmt.Printf("ldpclient: protocol done after %d rounds; sent %d reports (%d failed)\n", f.Levels, sent, failed)
 	for _, h := range f.Hits {
@@ -486,11 +530,23 @@ func postBatchOnce(c *http.Client, base, id string, body []byte, batchLen int) (
 	if err := json.Unmarshal(raw, &br); err != nil {
 		return 0, false, fmt.Errorf("server returned %s: %s", resp.Status, bodySnippet(raw))
 	}
+	if resp.StatusCode == http.StatusConflict {
+		// The server 409s a batch only when it accepted none of it for
+		// being round-stale (advances never land mid-batch), so the whole
+		// batch is unspent budget the caller may re-privatize.
+		return br.Accepted, false, fmt.Errorf("server returned %s: %s: %w", resp.Status, bodySnippet(raw), errStaleRound)
+	}
 	if resp.StatusCode != http.StatusAccepted {
 		return br.Accepted, false, fmt.Errorf("server rejected %d of %d: %s", br.Rejected, batchLen, br.Error)
 	}
 	return br.Accepted, false, nil
 }
+
+// errStaleRound marks a batch the server refused whole with 409: the
+// collection's round moved between the frontier fetch and the upload.
+// None of the batch's users spent budget, so the hh driver re-privatizes
+// them against the refetched frontier instead of counting them failed.
+var errStaleRound = errors.New("round advanced mid-upload")
 
 // newBatchID draws a fresh 128-bit Idempotency-Key. An empty string
 // (randomness unavailable) sends the batch without deduplication —

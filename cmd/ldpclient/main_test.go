@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunHHCarriesUsersAcrossStaleRound pins the 409 recovery contract:
+// when another driver closes the round mid-upload, the refused batch
+// and the unreported tail of the user group are re-privatized against
+// the refetched frontier instead of being dropped as failures — every
+// user's single report lands in exactly one round.
+func TestRunHHCarriesUsersAcrossStaleRound(t *testing.T) {
+	reg := core.NewCollectionRegistry()
+	inner := core.NewMultiService(reg, nil).Handler()
+	var once sync.Once
+	outer := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/report/batch") {
+			// A racing driver closes round 0 just before our first batch
+			// lands: the server must 409 the whole batch.
+			once.Do(func() {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodPost, "/collections/words/advance", nil)
+				inner.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("injected advance status %d: %s", rec.Code, rec.Body)
+				}
+			})
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(outer)
+	defer ts.Close()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/collections",
+		strings.NewReader(`{"name":"words","task":"hh","epsilon":2,"bits":4,"levels":2,"k":2,"shards":2}`))
+	inner.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d: %s", rec.Code, rec.Body)
+	}
+
+	// 40 users on "stdin": 20 per round.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		defer w.Close()
+		for i := 0; i < 40; i++ {
+			fmt.Fprintln(w, i%16)
+		}
+	}()
+
+	if err := runHH(ts.Client(), ts.URL+"/collections/words", 10, 1, true); err != nil {
+		t.Fatalf("runHH: %v", err)
+	}
+
+	// Round 0 closed with nothing in it; every one of the 40 users must
+	// have landed in round 1 (its own 20 plus the 20 carried out of the
+	// stale round 0).
+	c, ok := reg.Get("words")
+	if !ok {
+		t.Fatal("collection gone")
+	}
+	agg := c.Aggregator()
+	if !agg.Done() || agg.Collected() != 40 {
+		t.Fatalf("done=%v collected=%d, want done with all 40 reports", agg.Done(), agg.Collected())
+	}
+}

@@ -865,3 +865,82 @@ func TestAdvanceCheckpointDeleteRace(t *testing.T) {
 		t.Fatalf("post-race state dir does not load: %v", err)
 	}
 }
+
+// TestStatusUnchangedAcrossMidRoundRestart pins the /status plane's
+// restart exactness: with a checkpoint mid-protocol and further
+// journal-only reports on top, a kill → restart serves a byte-identical
+// /status — in particular round_reports, which the restore derives from
+// the aggregator's round counter rather than any per-report state.
+func TestStatusUnchangedAcrossMidRoundRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewCollectionRegistry()
+	c, err := reg.Create("words", hhCfg(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Attach(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(reg, c); err != nil {
+		t.Fatal(err)
+	}
+	client, err := hhtask.NewClient(2, 8, 4, ldprand.NewSplitMix64(151))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ldprand.NewSplitMix64(152)
+	ingest := func(id string, n int) {
+		t.Helper()
+		round := c.Aggregator().Round()
+		batch := make([]json.RawMessage, n)
+		for i := range batch {
+			raw, err := client.Report(plantedValue(src), round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch[i] = raw
+		}
+		if _, err := c.IngestBatch(id, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest("r0", 600)
+	if err := c.AdvanceExpecting(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveAll(reg); err != nil { // checkpoint at round 1, 0 reports
+		t.Fatal(err)
+	}
+	ingest("r1", 250) // journal-only: lives past the last checkpoint
+
+	ts := httptest.NewServer(NewMultiService(reg, store).Handler())
+	want := getBody(t, ts.URL+"/collections/words/status")
+	ts.Close()
+	var st StatusResponse
+	if err := json.Unmarshal([]byte(want), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Round == nil || *st.Round != 1 || st.RoundReports == nil || *st.RoundReports != 250 || st.Reports != 850 {
+		t.Fatalf("pre-kill status %s", want)
+	}
+
+	// Kill without a final checkpoint; restore from checkpoint + journal.
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewCollectionRegistry()
+	if _, err := store2.Load(reg2); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewMultiService(reg2, store2).Handler())
+	defer ts2.Close()
+	got := getBody(t, ts2.URL+"/collections/words/status")
+	if got != want {
+		t.Fatalf("/status changed across restart:\nbefore %s\nafter  %s", want, got)
+	}
+}

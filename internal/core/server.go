@@ -478,10 +478,14 @@ type StatusResponse struct {
 	Shards     int     `json:"shards"`
 	Reports    int     `json:"reports"`
 	ReportBits int     `json:"report_bits"`
-	// Round and Phase are set for phased (multi-round) collections
-	// only; Round is a pointer so round 0 still serializes.
-	Round *int   `json:"round,omitempty"`
-	Phase string `json:"phase,omitempty"`
+	// Round, RoundReports and Phase are set for phased (multi-round)
+	// collections only; the counters are pointers so zero values still
+	// serialize. RoundReports comes from the aggregator's round counter
+	// — exact across restarts, merges and quota checks even though the
+	// task holds no per-report state (see hhtask's accumulator).
+	Round        *int   `json:"round,omitempty"`
+	RoundReports *int   `json:"round_reports,omitempty"`
+	Phase        string `json:"phase,omitempty"`
 }
 
 func statusFor(c *Collection) StatusResponse {
@@ -499,8 +503,9 @@ func statusFor(c *Collection) StatusResponse {
 		ReportBits: c.agg.ReportBits(),
 	}
 	if c.agg.Phased() {
-		round := c.agg.Round()
+		round, roundReports := c.agg.Round(), c.agg.RoundReports()
 		st.Round = &round
+		st.RoundReports = &roundReports
 		st.Phase = phaseOf(c.agg)
 	}
 	return st

@@ -534,8 +534,12 @@ func (a *ShardedAggregator) RestoreState(data []byte) error {
 		}
 		a.round.Store(int64(p.Round()))
 		a.done.Store(p.Done())
-		// Reports of the in-flight round are part of the restored
-		// total; the rest belong to completed rounds.
+		// roundStart derives from collected - RoundReports(): reports of
+		// the in-flight round are part of the restored total, the rest
+		// belong to completed rounds. The task's round counter is the
+		// authority here — it stays exact whether the task restored a
+		// report list or a counter-based accumulator — so /status
+		// round_reports and quota arithmetic survive a restart unchanged.
 		a.roundStart.Store(int64(restored - p.RoundReports()))
 	}
 	a.collected.Store(int64(restored))

@@ -80,11 +80,18 @@ func (m LHMech) Privatize(v uint64, src ldprand.Source) LHReport {
 
 // EstimateCounts returns the debiased estimated count of each candidate
 // among the reports.
+//
+// It is the list-based reference implementation: FoldSupport +
+// EstimateFromSupport compute the same estimates incrementally from a
+// fixed-size accumulator, and because per-report support is a 0/1
+// indicator summed exactly (float64 increments from zero are exact
+// below 2^53, as is the int64 conversion), the two paths are
+// bit-identical for any report multiset in any order.
 func (m LHMech) EstimateCounts(reports []LHReport, candidates []uint64) []float64 {
 	support := make([]float64, len(candidates))
 	for _, r := range reports {
 		for i, c := range candidates {
-			if hashutil.Range(hashutil.HashInt64(r.Seed, int(c)), m.g) == r.Bucket {
+			if m.Supports(r, c) {
 				support[i]++
 			}
 		}
@@ -95,6 +102,44 @@ func (m LHMech) EstimateCounts(reports []LHReport, candidates []uint64) []float6
 	out := make([]float64, len(candidates))
 	for i, s := range support {
 		out[i] = (s - n*q) / den
+	}
+	return out
+}
+
+// Supports reports whether report r supports candidate c: whether c
+// hashes (under r's seed) into the bucket r announced. This is the 0/1
+// frequency indicator both estimate paths sum per candidate.
+func (m LHMech) Supports(r LHReport, c uint64) bool {
+	return hashutil.Range(hashutil.HashInt64(r.Seed, int(c)), m.g) == r.Bucket
+}
+
+// FoldSupport adds one report's support indicators into the
+// per-candidate sums, which must have len(candidates) entries. Folding
+// every report of a multiset (in any order — integer addition commutes)
+// leaves sums holding exactly the support tallies EstimateCounts
+// computes internally, at O(len(candidates)) memory instead of
+// O(reports): this is the building block for serving protocols that
+// must hold a round's state in constant space however much traffic the
+// round absorbs.
+func (m LHMech) FoldSupport(r LHReport, candidates []uint64, sums []int64) {
+	for i, c := range candidates {
+		if m.Supports(r, c) {
+			sums[i]++
+		}
+	}
+}
+
+// EstimateFromSupport debiases support sums accumulated by FoldSupport
+// over n reports. For sums folded from any n-report multiset the result
+// is bit-identical to EstimateCounts over that multiset (see its
+// comment for why).
+func (m LHMech) EstimateFromSupport(sums []int64, n int) []float64 {
+	q := 1 / float64(m.g)
+	den := m.p - q
+	nf := float64(n)
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		out[i] = (float64(s) - nf*q) / den
 	}
 	return out
 }

@@ -179,3 +179,53 @@ func TestLHMechanismCalibration(t *testing.T) {
 		t.Errorf("absent item estimate %.0f want about 0", counts[1])
 	}
 }
+
+// TestSupportFoldMatchesEstimateCounts pins the accumulator primitives
+// against the list-based reference: folding each report's support
+// indicators into integer sums and debiasing once must reproduce
+// EstimateCounts bit for bit, in any fold order and across any split
+// of the reports (vector-added partial sums).
+func TestSupportFoldMatchesEstimateCounts(t *testing.T) {
+	for _, epsilon := range []float64{0.5, 2, 5} {
+		mech := NewLHMech(epsilon)
+		src := ldprand.NewSplitMix64(uint64(math.Float64bits(epsilon)))
+		candidates := make([]uint64, 48)
+		for i := range candidates {
+			candidates[i] = uint64(ldprand.Intn(src, 1<<12))
+		}
+		reports := make([]LHReport, 700)
+		for i := range reports {
+			reports[i] = mech.Privatize(candidates[ldprand.Intn(src, len(candidates))], src)
+		}
+		want := mech.EstimateCounts(reports, candidates)
+
+		sums := make([]int64, len(candidates))
+		for _, i := range ldprand.Perm(src, len(reports)) { // arbitrary fold order
+			mech.FoldSupport(reports[i], candidates, sums)
+		}
+		// Split-and-add: partial sums over any partition add to the same
+		// vector (this is what shard merges rely on).
+		split := ldprand.Intn(src, len(reports)-1) + 1
+		partial := make([]int64, len(candidates))
+		for _, half := range [][]LHReport{reports[:split], reports[split:]} {
+			part := make([]int64, len(candidates))
+			for _, r := range half {
+				mech.FoldSupport(r, candidates, part)
+			}
+			for i := range partial {
+				partial[i] += part[i]
+			}
+		}
+		for i := range sums {
+			if sums[i] != partial[i] {
+				t.Fatalf("eps=%v: split fold sum[%d]=%d, whole fold %d", epsilon, i, partial[i], sums[i])
+			}
+		}
+		got := mech.EstimateFromSupport(sums, len(reports))
+		for i := range want {
+			if got[i] != want[i] { // exact: same float ops on the same integers
+				t.Fatalf("eps=%v candidate %d: accumulator %v, EstimateCounts %v", epsilon, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -143,6 +143,18 @@ func params(cfg task.Config) (heavyhitters.PEMParams, error) {
 // Aggregator is the server half of the PEM protocol: a phased
 // task.Aggregator that accumulates the current round's local-hashing
 // reports and, at each Advance, prunes the prefix frontier.
+//
+// Round state is a fixed-size accumulator, not a report list: the
+// candidate set is frozen when the round opens (it is a deterministic
+// function of the round and the survivors, so every shard freezes the
+// same one), and each accepted report folds its 0/1 support indicator
+// per candidate into an integer sum vector. Per-round memory is
+// O(budget · 2^grow) — bounded by maxRoundCandidates — regardless of
+// how many reports the round absorbs, and because the sums are
+// integer-valued the accumulator is bit-identical to the report list
+// it replaced: merges are exact vector adds, debiasing happens once at
+// Advance via EstimateFromSupport, and EstimateCounts over the
+// equivalent list produces the same floats bit for bit.
 type Aggregator struct {
 	params heavyhitters.PEMParams
 	mech   heavyhitters.LHMech
@@ -154,8 +166,14 @@ type Aggregator struct {
 	// round (PrefixLen(round-1) bits each); nil at round 0, when the
 	// only parent is the empty prefix.
 	survivors []Prefix
-	reports   []heavyhitters.LHReport // current round's reports
-	hits      []Prefix                // final population-scaled results, once done
+	// cands is the current round's frozen candidate set; nil once done.
+	cands []uint64
+	// sums[i] counts the current round's reports supporting cands[i].
+	sums []int64
+	// roundReports counts the current round's accepted reports (the n
+	// the debiasing at Advance needs).
+	roundReports int
+	hits         []Prefix // final population-scaled results, once done
 }
 
 // New builds an hh task aggregator: Bits-long items discovered over
@@ -165,7 +183,9 @@ func New(cfg task.Config) (task.Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Aggregator{params: p, mech: heavyhitters.NewLHMech(p.Epsilon)}, nil
+	a := &Aggregator{params: p, mech: heavyhitters.NewLHMech(p.Epsilon)}
+	a.openRound()
+	return a, nil
 }
 
 // Type returns "hh".
@@ -191,7 +211,8 @@ func (a *Aggregator) Add(report json.RawMessage) error {
 	if e.Bucket < 0 || e.Bucket >= a.mech.G() {
 		return fmt.Errorf("hhtask: bucket %d out of range [0,%d)", e.Bucket, a.mech.G())
 	}
-	a.reports = append(a.reports, heavyhitters.LHReport{Seed: e.Seed, Bucket: e.Bucket})
+	a.mech.FoldSupport(heavyhitters.LHReport{Seed: e.Seed, Bucket: e.Bucket}, a.cands, a.sums)
+	a.roundReports++
 	return nil
 }
 
@@ -201,7 +222,7 @@ func (a *Aggregator) AddBatch(reports []json.RawMessage) (int, error) {
 }
 
 // Collected returns the total reports absorbed across all rounds.
-func (a *Aggregator) Collected() int { return a.prevUsers + len(a.reports) }
+func (a *Aggregator) Collected() int { return a.prevUsers + a.roundReports }
 
 // ReportBits returns the per-report payload size: the 64-bit hash seed
 // plus the bucket index.
@@ -220,14 +241,15 @@ func bitsFor(n int) int {
 // survivors and results.
 func (a *Aggregator) Reset() {
 	a.round, a.done, a.prevUsers = 0, false, 0
-	a.survivors, a.reports, a.hits = nil, nil, nil
+	a.survivors, a.hits = nil, nil
+	a.openRound()
 }
 
 // Round returns the current round (task.Phased).
 func (a *Aggregator) Round() int { return a.round }
 
 // RoundReports returns the current round's report count (task.Phased).
-func (a *Aggregator) RoundReports() int { return len(a.reports) }
+func (a *Aggregator) RoundReports() int { return a.roundReports }
 
 // Done reports whether all rounds have completed (task.Phased).
 func (a *Aggregator) Done() bool { return a.done }
@@ -240,14 +262,22 @@ func (a *Aggregator) prefixBits() int {
 	return a.params.PrefixLen(a.round - 1)
 }
 
-// candidates returns the candidate set the current round scores: every
-// extension of the surviving prefixes to this round's prefix length.
-func (a *Aggregator) candidates() []uint64 {
-	grow := a.params.PrefixLen(a.round) - a.prefixBits()
+// candidatesFor returns the candidate set round `round` scores given
+// the previous round's survivors: every extension of the surviving
+// prefixes to the round's prefix length, in deterministic order
+// (survivor order × ascending extension). Aggregators that agree on
+// round and survivors — which Merge enforces — therefore freeze
+// identical candidate vectors, so their support sums add index-aligned.
+func candidatesFor(p heavyhitters.PEMParams, round int, survivors []Prefix) []uint64 {
+	prev := 0
+	if round > 0 {
+		prev = p.PrefixLen(round - 1)
+	}
+	grow := p.PrefixLen(round) - prev
 	parents := []uint64{0} // round 0: the empty prefix
-	if a.round > 0 {
-		parents = make([]uint64, len(a.survivors))
-		for i, s := range a.survivors {
+	if round > 0 {
+		parents = make([]uint64, len(survivors))
+		for i, s := range survivors {
 			parents[i] = s.Value
 		}
 	}
@@ -259,6 +289,21 @@ func (a *Aggregator) candidates() []uint64 {
 		}
 	}
 	return out
+}
+
+// openRound freezes the current round's candidate set and zeroes its
+// accumulator. Called whenever the protocol position changes (fresh
+// aggregator, reset, advance, phase adoption, state restore); once the
+// protocol is done there is no round to score and the accumulator is
+// released.
+func (a *Aggregator) openRound() {
+	a.roundReports = 0
+	if a.done {
+		a.cands, a.sums = nil, nil
+		return
+	}
+	a.cands = candidatesFor(a.params, a.round, a.survivors)
+	a.sums = make([]int64, len(a.cands))
 }
 
 // Advance closes the current round (task.Phased): the round's reports
@@ -274,8 +319,8 @@ func (a *Aggregator) Advance() error {
 	if a.done {
 		return fmt.Errorf("hhtask: protocol already completed all %d rounds", a.params.Levels)
 	}
-	cands := a.candidates()
-	counts := a.mech.EstimateCounts(a.reports, cands)
+	cands := a.cands
+	counts := a.mech.EstimateFromSupport(a.sums, a.roundReports)
 	final := a.round == a.params.Levels-1
 	keep := a.params.Budget()
 	if final {
@@ -297,10 +342,9 @@ func (a *Aggregator) Advance() error {
 	for i := 0; i < keep; i++ {
 		kept[i] = Prefix{Value: cands[idx[i]], Count: counts[idx[i]]}
 	}
-	roundUsers := len(a.reports)
+	roundUsers := a.roundReports
 	a.survivors = kept
 	a.prevUsers += roundUsers
-	a.reports = nil
 	a.round++
 	if final {
 		a.done = true
@@ -314,6 +358,7 @@ func (a *Aggregator) Advance() error {
 		}
 		a.hits = hits
 	}
+	a.openRound()
 	return nil
 }
 
@@ -350,8 +395,8 @@ func (a *Aggregator) AdoptPhase(from task.Aggregator) error {
 	a.round, a.done = o.round, o.done
 	a.survivors = append([]Prefix(nil), o.survivors...)
 	a.hits = append([]Prefix(nil), o.hits...)
-	a.reports = nil
 	a.prevUsers = 0
+	a.openRound()
 	return nil
 }
 
@@ -359,12 +404,13 @@ func (a *Aggregator) AdoptPhase(from task.Aggregator) error {
 // advanced a round — the state task.New returns, and the only state in
 // which Merge may adopt another aggregator's phase wholesale.
 func (a *Aggregator) virgin() bool {
-	return a.round == 0 && !a.done && a.prevUsers == 0 && len(a.reports) == 0
+	return a.round == 0 && !a.done && a.prevUsers == 0 && a.roundReports == 0
 }
 
 // Merge folds another hh aggregator's state into the receiver. The
-// report lists concatenate and the completed-round totals add; the
-// replicated phase state (round, survivors, results) must agree —
+// support sums add vector-wise (both sides froze the same candidate
+// set, so the vectors are index-aligned) and the report counters add;
+// the replicated phase state (round, survivors, results) must agree —
 // merging across rounds is a protocol violation, not a recoverable
 // condition, except into a virgin receiver (a fresh merge target),
 // which adopts the other's phase first.
@@ -388,8 +434,16 @@ func (a *Aggregator) Merge(other task.Aggregator) error {
 	if !samePrefixes(a.survivors, o.survivors) {
 		return fmt.Errorf("hhtask: cannot merge diverged frontiers at round %d", a.round)
 	}
+	if len(a.sums) != len(o.sums) {
+		// Unreachable given equal params, round and survivors; refusing
+		// beats silently misaligning the accumulators.
+		return fmt.Errorf("hhtask: accumulator width %d does not match %d at round %d", len(o.sums), len(a.sums), a.round)
+	}
 	a.prevUsers += o.prevUsers
-	a.reports = append(a.reports, o.reports...)
+	for i, s := range o.sums {
+		a.sums[i] += s
+	}
+	a.roundReports += o.roundReports
 	return nil
 }
 
@@ -409,56 +463,81 @@ func samePrefixes(a, b []Prefix) bool {
 func (a *Aggregator) Snapshot() task.Aggregator {
 	cp := *a
 	cp.survivors = append([]Prefix(nil), a.survivors...)
-	cp.reports = append([]heavyhitters.LHReport(nil), a.reports...)
+	cp.cands = append([]uint64(nil), a.cands...)
+	cp.sums = append([]int64(nil), a.sums...)
 	cp.hits = append([]Prefix(nil), a.hits...)
 	return &cp
 }
 
-// state is the JSON aggregate-state format. Counts are float64 and
-// seeds uint64, both of which Go's JSON encoding round-trips exactly,
-// so Marshal → Unmarshal reproduces the frontier bit for bit.
+// stateVersionSums identifies the accumulator state layout: support
+// sums plus a round report counter instead of the report list earlier
+// releases carried. The field is absent (0) in legacy report-list
+// states, which UnmarshalState still restores — bit-identically, by
+// folding the listed reports into a fresh accumulator at load.
+const stateVersionSums = 2
+
+// state is the JSON aggregate-state format. Counts are float64,
+// support sums int64 and seeds uint64, all of which Go's JSON encoding
+// round-trips exactly, so Marshal → Unmarshal reproduces the frontier
+// bit for bit.
 type state struct {
-	Mechanism string                  `json:"mechanism"`
-	Epsilon   float64                 `json:"epsilon"`
-	Bits      int                     `json:"bits"`
-	Levels    int                     `json:"levels"`
-	K         int                     `json:"k"`
-	Budget    int                     `json:"budget,omitempty"`
-	Round     int                     `json:"round"`
-	Done      bool                    `json:"done,omitempty"`
-	PrevUsers int                     `json:"prev_users"`
-	Survivors []Prefix                `json:"survivors,omitempty"`
-	Reports   []heavyhitters.LHReport `json:"reports,omitempty"`
-	Hits      []Prefix                `json:"hits,omitempty"`
+	V         int      `json:"v,omitempty"` // 0 = legacy report list, 2 = accumulator
+	Mechanism string   `json:"mechanism"`
+	Epsilon   float64  `json:"epsilon"`
+	Bits      int      `json:"bits"`
+	Levels    int      `json:"levels"`
+	K         int      `json:"k"`
+	Budget    int      `json:"budget,omitempty"`
+	Round     int      `json:"round"`
+	Done      bool     `json:"done,omitempty"`
+	PrevUsers int      `json:"prev_users"`
+	Survivors []Prefix `json:"survivors,omitempty"`
+	// RoundReports and Sums are the current round's accumulator
+	// (stateVersionSums states). The candidate vector itself is not
+	// stored: it is a deterministic function of round and survivors,
+	// recomputed at load.
+	RoundReports int     `json:"round_reports,omitempty"`
+	Sums         []int64 `json:"sums,omitempty"`
+	// Reports is the legacy (version-0) in-flight report list.
+	Reports []heavyhitters.LHReport `json:"reports,omitempty"`
+	Hits    []Prefix                `json:"hits,omitempty"`
 }
 
 // MarshalState serializes the full protocol state: parameters, round
-// position, surviving prefixes, the current round's reports and (when
-// done) the final hits.
+// position, surviving prefixes, the current round's accumulator and
+// (when done) the final hits.
 func (a *Aggregator) MarshalState() ([]byte, error) {
 	return json.Marshal(state{
-		Mechanism: MechanismPEM,
-		Epsilon:   a.params.Epsilon,
-		Bits:      a.params.Bits,
-		Levels:    a.params.Levels,
-		K:         a.params.K,
-		Budget:    a.params.CandidateBudget,
-		Round:     a.round,
-		Done:      a.done,
-		PrevUsers: a.prevUsers,
-		Survivors: a.survivors,
-		Reports:   a.reports,
-		Hits:      a.hits,
+		V:            stateVersionSums,
+		Mechanism:    MechanismPEM,
+		Epsilon:      a.params.Epsilon,
+		Bits:         a.params.Bits,
+		Levels:       a.params.Levels,
+		K:            a.params.K,
+		Budget:       a.params.CandidateBudget,
+		Round:        a.round,
+		Done:         a.done,
+		PrevUsers:    a.prevUsers,
+		Survivors:    a.survivors,
+		RoundReports: a.roundReports,
+		Sums:         a.sums,
+		Hits:         a.hits,
 	})
 }
 
-// UnmarshalState restores a state blob produced by MarshalState. The
-// blob's parameters must match the receiver's; anything else is an
-// error leaving the receiver unchanged.
+// UnmarshalState restores a state blob produced by MarshalState — the
+// current accumulator layout or the legacy report-list layout, which
+// restores bit-identically by folding the listed reports into the
+// accumulator at load. The blob's parameters must match the
+// receiver's; anything else is an error leaving the receiver
+// unchanged.
 func (a *Aggregator) UnmarshalState(data []byte) error {
 	var st state
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("hhtask: bad state: %w", err)
+	}
+	if st.V != 0 && st.V != stateVersionSums {
+		return fmt.Errorf("hhtask: state version %d not supported (have legacy and %d)", st.V, stateVersionSums)
 	}
 	if st.Mechanism != MechanismPEM {
 		return fmt.Errorf("hhtask: state mechanism %q does not match %q", st.Mechanism, MechanismPEM)
@@ -477,11 +556,61 @@ func (a *Aggregator) UnmarshalState(data []byte) error {
 	if st.Done != (st.Round == st.Levels) {
 		return fmt.Errorf("hhtask: state done=%v inconsistent with round %d of %d levels", st.Done, st.Round, st.Levels)
 	}
-	if st.Done && len(st.Reports) > 0 {
-		return fmt.Errorf("hhtask: completed state carries %d in-flight reports", len(st.Reports))
+	if st.Done && (len(st.Reports) > 0 || len(st.Sums) > 0 || st.RoundReports > 0) {
+		return fmt.Errorf("hhtask: completed state carries in-flight round data")
 	}
+
+	// Build the restored accumulator aside first: every validation
+	// failure below must leave the receiver untouched.
+	var cands []uint64
+	var sums []int64
+	roundReports := 0
+	if !st.Done {
+		cands = candidatesFor(a.params, st.Round, st.Survivors)
+		sums = make([]int64, len(cands))
+	}
+	switch {
+	case st.V == stateVersionSums:
+		if len(st.Reports) > 0 {
+			return fmt.Errorf("hhtask: version-%d state carries a legacy report list", st.V)
+		}
+		if st.RoundReports < 0 {
+			return fmt.Errorf("hhtask: state round_reports %d negative", st.RoundReports)
+		}
+		if !st.Done && len(st.Sums) != len(cands) && !(len(st.Sums) == 0 && st.RoundReports == 0) {
+			return fmt.Errorf("hhtask: state carries %d support sums for %d candidates", len(st.Sums), len(cands))
+		}
+		for i, s := range st.Sums {
+			// Each report supports a candidate at most once, so a sum
+			// outside [0, round_reports] cannot come from any report
+			// multiset.
+			if s < 0 || s > int64(st.RoundReports) {
+				return fmt.Errorf("hhtask: support sum %d at candidate %d outside [0,%d]", s, i, st.RoundReports)
+			}
+			sums[i] = s
+		}
+		roundReports = st.RoundReports
+	default: // legacy report list
+		if st.RoundReports != 0 || len(st.Sums) > 0 {
+			return fmt.Errorf("hhtask: legacy state carries accumulator fields")
+		}
+		for i, r := range st.Reports {
+			if r.Bucket < 0 || r.Bucket >= a.mech.G() {
+				return fmt.Errorf("hhtask: legacy report %d bucket %d out of range [0,%d)", i, r.Bucket, a.mech.G())
+			}
+		}
+		// Folding at load is bit-identical to having folded each report
+		// as it arrived: the sums are integer tallies of the same
+		// support indicators, in an order that cannot matter.
+		for _, r := range st.Reports {
+			a.mech.FoldSupport(r, cands, sums)
+		}
+		roundReports = len(st.Reports)
+	}
+
 	a.round, a.done, a.prevUsers = st.Round, st.Done, st.PrevUsers
-	a.survivors, a.reports, a.hits = st.Survivors, st.Reports, st.Hits
+	a.survivors, a.hits = st.Survivors, st.Hits
+	a.cands, a.sums, a.roundReports = cands, sums, roundReports
 	return nil
 }
 
@@ -508,7 +637,7 @@ func (a *Aggregator) Estimate(query url.Values) (json.RawMessage, error) {
 		Round:        a.round,
 		Levels:       a.params.Levels,
 		Phase:        PhaseCollecting,
-		RoundReports: len(a.reports),
+		RoundReports: a.roundReports,
 		PrefixBits:   a.prefixBits(),
 		Prefixes:     append([]Prefix(nil), a.survivors...),
 	}
