@@ -1,0 +1,191 @@
+// Command ldplint machine-checks this repository's concurrency,
+// determinism, and durability invariants (see internal/analysis).
+//
+// It speaks the cmd/go vettool protocol, so the canonical invocation
+// is the one CI runs:
+//
+//	go build -o /tmp/ldplint ./cmd/ldplint
+//	go vet -vettool=/tmp/ldplint ./...
+//
+// Under -vettool, cmd/go drives one process per package with a
+// vet.cfg describing the type-checked unit (source files, import map,
+// export-data locations), caches results by the tool's -V=full build
+// ID, and treats exit status 2 as "diagnostics reported". Run
+// standalone, ldplint loads packages itself:
+//
+//	go run ./cmd/ldplint ./...
+//
+// Findings are suppressed line-by-line with an annotation naming the
+// analyzer and the reason:
+//
+//	_ = f.Close() //ldplint:ok fsiocheck superseded by the rename above
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldplint: ")
+
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON (cmd/go tool protocol)")
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		// No analyzer-specific flags; cmd/go only needs valid JSON.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion implements `ldplint -V=full`. cmd/go derives the vet
+// cache key from this line, so it must carry a content hash: stale
+// tool builds would otherwise serve stale verdicts from the cache.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(self); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+// vetConfig mirrors the vet.cfg JSON cmd/go writes for each package
+// unit (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by a vet.cfg.
+// Exit codes follow the vettool convention: 0 clean, 1 tool failure,
+// 2 diagnostics reported.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("parsing %s: %v", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants facts, and ldplint's
+		// analyzers keep none, so an empty facts file suffices.
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if resolved, ok := cfg.ImportMap[path]; ok {
+			path = resolved
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	fset := token.NewFileSet()
+	lp, err := analysis.TypeCheck(fset, cfg.ImportPath, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput)
+		}
+		log.Print(err)
+		return 1
+	}
+	diags, err := analysis.Run(analysis.Analyzers(), fset, lp.Files, lp.Pkg, lp.Info)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput); code != 0 {
+		return code
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// standalone loads packages by pattern and analyzes each, printing
+// findings to stdout.
+func standalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	exit := 0
+	for _, lp := range pkgs {
+		diags, err := analysis.Run(analysis.Analyzers(), lp.Fset, lp.Files, lp.Pkg, lp.Info)
+		if err != nil {
+			log.Printf("%s: %v", lp.Path, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", lp.Fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}

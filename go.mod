@@ -1,3 +1,5 @@
 module repro
 
 go 1.24
+
+tool repro/cmd/ldplint

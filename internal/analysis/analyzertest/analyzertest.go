@@ -1,0 +1,109 @@
+// Package analyzertest runs one ldplint analyzer over a fixture
+// package and checks its diagnostics against expectations written in
+// the fixture source, in the style of x/tools' analysistest:
+//
+//	s.mu.Lock() // want `walMu acquired while phaseMu is held`
+//
+// Each `want` carries a regexp (Go-quoted, backticks preferred) that
+// must match a diagnostic reported on that line; every diagnostic
+// must be claimed by a want and every want must be satisfied.
+// Fixtures live under testdata/src/<analyzer>/ as ordinary compiling
+// packages — `go list -export` resolves them like any other package
+// in the module, so they may import the real repro/internal seams
+// they exercise, while ./... wildcards (build, test, vet) never
+// descend into testdata.
+package analyzertest
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one expectation: a `want` keyword in a line comment
+// followed by a Go string literal (quoted or backquoted) holding the
+// regexp.
+var wantRe = regexp.MustCompile("//.*?want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// expectation is one want comment awaiting a matching diagnostic.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), applies exactly one analyzer, and reports any
+// mismatch between diagnostics and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	lp := pkgs[0]
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, lp.Fset, lp.Files, lp.Pkg, lp.Info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, lp)
+	for _, d := range diags {
+		pos := lp.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// collectWants scans the fixture's source files for want comments.
+func collectWants(t *testing.T, lp *analysis.LoadedPackage) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.Files {
+		name := lp.Fset.Position(f.Package).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture source: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pattern, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", name, i+1, m[1], err)
+				}
+				rx, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pattern, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmet want on the diagnostic's line whose
+// regexp matches, reporting whether one existed.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcDecls maps each declared function or method in the package to
+// its declaration, keyed by the types object so call sites resolve to
+// bodies without name mangling.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// invokes, when that is statically known: a plain function call or a
+// concrete method call. Interface method calls and calls through
+// function values return nil — the analyses treat them as opaque,
+// which under-approximates but never false-positives.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			if fn != nil && types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch: body unknown
+			}
+			return fn
+		}
+		// Package-qualified call (pkg.F).
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// localCallee resolves a call to a function declared in this package,
+// or nil.
+func localCallee(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *types.Func {
+	fn := staticCallee(pass.Info, call)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := decls[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// calleePkgPath returns the defining package path and name of a
+// statically resolved callee, or "", "".
+func calleePkgPath(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder guards the monoid property the scale-out plan rests on:
+// Merge, Snapshot, MarshalState, Advance and Frontier must be
+// bit-deterministic functions of the aggregate state, so that any
+// merge order across shards and any checkpoint/restore cycle
+// reproduces identical bytes. Two things silently break that:
+//
+//   - ranging over a map (Go randomizes iteration order per run) on a
+//     path that mutates state or feeds serialized output, and
+//   - consulting ambient nondeterminism: time.Now or the global
+//     math/rand source (all sampling in this codebase goes through an
+//     injected ldprand.Source precisely to keep these paths pure).
+//
+// The analyzer walks the same-package static call graph rooted at
+// every method with one of those five names and flags, anywhere in
+// it: a `range` over a map with no later sort call in the same
+// function (collect-then-sort is the sanctioned pattern), any
+// time.Now call, and any package-level math/rand or math/rand/v2
+// call. Interface calls are opaque, so cross-task dispatch is checked
+// in the implementing package — where the adapter lives.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "forbid unsorted map iteration, time.Now and global math/rand in Merge/Snapshot/MarshalState/Advance/Frontier call graphs",
+	Run:  runDetOrder,
+}
+
+// detRoots are the method names whose call graphs must be
+// deterministic: the merge/serialize/round-boundary surface of
+// task.Aggregator and the freq/mean/sketch substrates beneath it.
+var detRoots = map[string]bool{
+	"Merge":        true,
+	"Snapshot":     true,
+	"MarshalState": true,
+	"Advance":      true,
+	"Frontier":     true,
+}
+
+func runDetOrder(pass *Pass) error {
+	decls := funcDecls(pass)
+
+	// Seed the worklist with the deterministic-surface methods and
+	// close it over same-package static calls.
+	inScope := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for fn, decl := range decls {
+		if decl.Recv != nil && detRoots[fn.Name()] {
+			inScope[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := localCallee(pass, decls, call); callee != nil && !inScope[callee] {
+				inScope[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn := range inScope {
+		checkDeterminism(pass, decls[fn])
+	}
+	return nil
+}
+
+// checkDeterminism scans one in-scope function for nondeterminism
+// sources.
+func checkDeterminism(pass *Pass, decl *ast.FuncDecl) {
+	sortCalls := sortCallPositions(pass, decl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if !rangesOverMap(pass, n) {
+				return true
+			}
+			if sortedAfter(sortCalls, n.End()) {
+				return true // collect-then-sort: order laundered before use
+			}
+			pass.Reportf(n.Pos(),
+				"map iteration order is randomized; on the %s path it must be sorted before it feeds state or serialized output",
+				decl.Name.Name)
+		case *ast.CallExpr:
+			pkg, name := calleePkgPath(pass.Info, n)
+			switch {
+			case pkg == "time" && name == "Now":
+				pass.Reportf(n.Pos(),
+					"time.Now on the %s path makes merges non-reproducible; thread an explicit timestamp through the caller",
+					decl.Name.Name)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				pass.Reportf(n.Pos(),
+					"global %s.%s on the %s path breaks bit-identical merges; draw from an injected ldprand.Source",
+					pkg, name, decl.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(pass *Pass, r *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// sortCallPositions collects the positions of sort/slices ordering
+// calls in the function, the marker that a collected map's order is
+// re-established before use.
+func sortCallPositions(pass *Pass, decl *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, _ := calleePkgPath(pass.Info, call); pkg == "sort" || pkg == "slices" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func sortedAfter(sorts []token.Pos, end token.Pos) bool {
+	for _, p := range sorts {
+		if p > end {
+			return true
+		}
+	}
+	return false
+}

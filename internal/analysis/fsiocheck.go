@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FsioCheck enforces the durability layer's ground rule: every error
+// from a mutating fsio.File / fsio.FS operation is handled. The
+// write-ahead journal's acknowledgement invariant ("ack ⇒ durably
+// journaled or checkpointed") is only as strong as the weakest
+// ignored Write, Sync, Close or Rename error — a swallowed failure
+// turns an acknowledged report into silent data loss at the next
+// crash.
+//
+// Flagged shapes, for calls whose static receiver is the fsio.File or
+// fsio.FS seam:
+//
+//   - the call as a bare statement (error not even received),
+//   - the error result assigned to the blank identifier,
+//   - the call deferred or spawned in a goroutine (result lost).
+//
+// Best-effort operations exist (dropping a superseded segment,
+// re-syncing a directory after a quarantine rename); they are
+// annotated where they happen:
+//
+//	_ = fs.Remove(path) //ldplint:ok fsiocheck superseded by the durable snapshot
+//
+// so the diff that introduces a discarded error also carries its
+// justification. Calls through other interfaces (*os.File internals
+// of the seam itself, HTTP bodies) are out of scope by design: the
+// durability layer's contract is that every mutation goes through
+// fsio, which the seam's construction enforces.
+var FsioCheck = &Analyzer{
+	Name: "fsiocheck",
+	Doc:  "require every mutating fsio.File/fsio.FS error to be checked or explicitly annotated",
+	Run:  runFsioCheck,
+}
+
+// fsioMutators are the seam methods whose error must be handled. Read
+// operations (ReadFile, ReadDir, Stat, Glob) return values callers
+// need anyway; the mutators are where an ignored error loses data.
+var fsioMutators = map[string]bool{
+	// fsio.File
+	"Write": true, "Sync": true, "Close": true,
+	// fsio.FS
+	"MkdirAll": true, "CreateTemp": true, "OpenFile": true,
+	"Rename": true, "Remove": true, "Truncate": true, "SyncDir": true,
+}
+
+func runFsioCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && isFsioMutation(pass, call) {
+					pass.Reportf(call.Pos(), "error from %s discarded; check it or annotate the discard", fsioCallName(call))
+				}
+			case *ast.DeferStmt:
+				if isFsioMutation(pass, s.Call) {
+					pass.Reportf(s.Call.Pos(), "deferred %s loses its error; call it explicitly and check, or annotate", fsioCallName(s.Call))
+				}
+			case *ast.GoStmt:
+				if isFsioMutation(pass, s.Call) {
+					pass.Reportf(s.Call.Pos(), "%s in a goroutine loses its error; check it or annotate", fsioCallName(s.Call))
+				}
+			case *ast.AssignStmt:
+				checkFsioAssign(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFsioAssign flags fsio mutations whose error lands in the blank
+// identifier. Both shapes are covered: `_ = f.Close()` and the
+// multi-value `f, _ := fs.CreateTemp(...)` (the error is the last
+// result of every seam method that returns one).
+func checkFsioAssign(pass *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isFsioMutation(pass, call) {
+		return
+	}
+	// The error is the final result; its destination is the final LHS.
+	last := s.Lhs[len(s.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(call.Pos(), "error from %s assigned to _; check it or annotate the discard", fsioCallName(call))
+	}
+}
+
+// isFsioMutation reports whether the call is a mutating method on the
+// fsio.File or fsio.FS seam, resolved by the receiver's static
+// interface type.
+func isFsioMutation(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !fsioMutators[sel.Sel.Name] {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	path, name := namedRecv(s.Recv())
+	return strings.HasSuffix(path, "internal/fsio") && (name == "File" || name == "FS")
+}
+
+func fsioCallName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return "fsio " + sel.Sel.Name
+	}
+	return "fsio operation"
+}

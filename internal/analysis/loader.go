@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// This file is the suite's package loader: it type-checks targets
+// from source while importing dependencies from gc export data, the
+// same shape `go vet` hands a vettool via vet.cfg. Keeping both modes
+// on one TypeCheck path means a fixture test exercises exactly the
+// code the CI gate runs.
+
+// A LoadedPackage is one target package, parsed and type-checked,
+// ready for Run.
+type LoadedPackage struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// TypeCheck parses the named files and type-checks them as one
+// package, resolving imports through lookup, which must return gc
+// export data for the (already ImportMap-resolved) package path.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, lookup func(path string) (io.ReadCloser, error)) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedPackage{Path: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load type-checks every non-dependency package matched by the
+// patterns, using `go list -export` both to enumerate targets and to
+// locate export data for their imports. dir anchors pattern
+// resolution (the module root for ./... sweeps, a testdata directory
+// for fixtures).
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // import path → export-data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	var loaded []*LoadedPackage
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var filenames []string
+		for _, f := range t.GoFiles {
+			filenames = append(filenames, t.Dir+string(os.PathSeparator)+f)
+		}
+		importMap := t.ImportMap
+		lookup := func(path string) (io.ReadCloser, error) {
+			if resolved, ok := importMap[path]; ok {
+				path = resolved
+			}
+			exp, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(exp)
+		}
+		lp, err := TypeCheck(token.NewFileSet(), t.ImportPath, filenames, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}

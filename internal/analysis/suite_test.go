@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+// Each fixture package pairs positive cases (every violation shape
+// the analyzer knows, marked with want comments), negative cases (the
+// sanctioned shapes beside them), and the //ldplint:ok escape hatch.
+
+func TestLockOrder(t *testing.T) {
+	analyzertest.Run(t, analysis.LockOrder, "testdata/src/lockorder")
+}
+
+func TestDetOrder(t *testing.T) {
+	analyzertest.Run(t, analysis.DetOrder, "testdata/src/detorder")
+}
+
+func TestFsioCheck(t *testing.T) {
+	analyzertest.Run(t, analysis.FsioCheck, "testdata/src/fsiocheck")
+}
+
+func TestEnvelopeVersion(t *testing.T) {
+	analyzertest.Run(t, analysis.EnvelopeVersion, "testdata/src/envelopeversion")
+}

@@ -1,0 +1,73 @@
+// Package detorder is the ldplint detorder fixture: an aggregator
+// whose deterministic surface (Merge/Snapshot/MarshalState/Advance/
+// Frontier) leaks each nondeterminism source once, next to the
+// sanctioned collect-then-sort shape and a waived advisory read.
+package detorder
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type agg struct {
+	counts map[string]int
+	out    []string
+	stamp  int64
+}
+
+// Merge appends in map order: different bytes every run.
+func (a *agg) Merge(other *agg) {
+	for k := range other.counts { // want `map iteration order is randomized`
+		a.out = append(a.out, k)
+	}
+}
+
+// Snapshot collects then sorts — the sanctioned shape.
+func (a *agg) Snapshot() []string {
+	var keys []string
+	for k := range a.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Advance consults the two ambient nondeterminism sources.
+func (a *agg) Advance() {
+	a.stamp = time.Now().UnixNano() // want `time.Now on the Advance path`
+	if rand.Intn(2) == 0 {          // want `global math/rand.Intn on the Advance path`
+		a.out = nil
+	}
+}
+
+// MarshalState reaches an unsorted range through a same-package
+// helper; the call-graph closure carries the check into it.
+func (a *agg) MarshalState() ([]byte, error) {
+	return a.encode()
+}
+
+func (a *agg) encode() ([]byte, error) {
+	for k := range a.counts { // want `map iteration order is randomized`
+		_ = k
+	}
+	return nil, nil
+}
+
+// Frontier carries the waiver shape for a deliberate exception.
+func (a *agg) Frontier() int {
+	//ldplint:ok detorder advisory read; result does not feed state or output
+	for k := range a.counts {
+		_ = len(k)
+	}
+	return 0
+}
+
+// offSurface is outside the five-name surface: the same shapes are
+// legal here.
+func (a *agg) offSurface() {
+	for k := range a.counts {
+		_ = k
+	}
+	a.stamp = time.Now().UnixNano()
+}

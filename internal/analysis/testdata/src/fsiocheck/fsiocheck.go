@@ -1,0 +1,48 @@
+// Package fsiocheck is the ldplint fsiocheck fixture: each way of
+// losing a mutating fsio error, beside the checked shapes and the
+// annotation escape hatch.
+package fsiocheck
+
+import "repro/internal/fsio"
+
+// drop never even receives the error.
+func drop(fs fsio.FS, path string) {
+	fs.Remove(path) // want `error from fsio Remove discarded`
+}
+
+// blank receives the error and throws it away.
+func blank(fs fsio.FS, path string) {
+	_ = fs.Remove(path) // want `error from fsio Remove assigned to _`
+}
+
+// blankMulti discards the error position of a multi-valued seam call.
+func blankMulti(fs fsio.FS, dir string) fsio.File {
+	f, _ := fs.CreateTemp(dir, "x-*") // want `error from fsio CreateTemp assigned to _`
+	return f
+}
+
+// deferred loses the error at function exit.
+func deferred(f fsio.File) {
+	defer f.Close() // want `deferred fsio Close loses its error`
+}
+
+// spawned loses the error in another goroutine.
+func spawned(f fsio.File) {
+	go f.Sync() // want `fsio Sync in a goroutine loses its error`
+}
+
+// checked is the expected shape: the error propagates.
+func checked(fs fsio.FS, path string) error {
+	return fs.Remove(path)
+}
+
+// checkedMulti keeps both results.
+func checkedMulti(fs fsio.FS, dir string) (fsio.File, error) {
+	return fs.CreateTemp(dir, "x-*")
+}
+
+// waived discards deliberately, with the annotation carrying the
+// justification.
+func waived(fs fsio.FS, path string) {
+	_ = fs.Remove(path) //ldplint:ok fsiocheck best-effort cleanup exercised by the fixture
+}

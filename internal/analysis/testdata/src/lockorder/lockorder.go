@@ -1,0 +1,98 @@
+// Package lockorder is the ldplint lockorder fixture: a miniature of
+// the serving core's lock hierarchy with one ordering violation, one
+// codec-under-shard-lock violation, the sanctioned shapes beside
+// them, and a waived same-rank sweep.
+package lockorder
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/task"
+)
+
+type coord struct {
+	walMu   sync.RWMutex
+	phaseMu sync.Mutex
+	shards  []*shard
+}
+
+// shard matches the analyzer's structural shard signature: a mutex
+// beside a task.Aggregator.
+type shard struct {
+	mu  sync.Mutex
+	agg task.Aggregator
+}
+
+// badOrder inverts the hierarchy: walMu is the outermost lock.
+func (c *coord) badOrder() {
+	c.phaseMu.Lock()
+	c.walMu.Lock() // want `walMu acquired while phaseMu is held`
+	c.walMu.Unlock()
+	c.phaseMu.Unlock()
+}
+
+// goodOrder takes the same pair in hierarchy order.
+func (c *coord) goodOrder() {
+	c.walMu.Lock()
+	c.phaseMu.Lock()
+	c.phaseMu.Unlock()
+	c.walMu.Unlock()
+}
+
+// decodeUnderLock performs codec work inside a shard critical
+// section — the pattern the task.Preparer split exists to prevent.
+func (s *shard) decodeUnderLock(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var v map[string]int
+	return json.Unmarshal(data, &v) // want `JSON codec or file I/O inside a shard-lock critical section`
+}
+
+// decodeOutsideLock is the sanctioned shape: decode first, fold under
+// the lock.
+func (s *shard) decodeOutsideLock(data []byte) error {
+	var v map[string]int
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = v
+	return nil
+}
+
+// decodeViaHelper reaches the codec through a same-package call; the
+// summary fixpoint carries the violation to the lock site.
+func (s *shard) decodeViaHelper(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return decode(data) // want `call to decode performs JSON codec work or file I/O inside a shard-lock critical section`
+}
+
+func decode(data []byte) error {
+	var v map[string]int
+	return json.Unmarshal(data, &v)
+}
+
+// sweepUnwaived holds every shard lock at once; the second loop
+// iteration acquires a shard mutex with one already held.
+func (c *coord) sweepUnwaived() {
+	for _, s := range c.shards {
+		s.mu.Lock() // want `shard mu acquired while shard mu is held`
+	}
+	for _, s := range c.shards {
+		s.mu.Unlock()
+	}
+}
+
+// sweepWaived is the same sweep with the annotation the real round
+// advance carries: same-rank, one canonical acquisition order.
+func (c *coord) sweepWaived() {
+	for _, s := range c.shards {
+		s.mu.Lock() //ldplint:ok lockorder all-shard sweep in canonical index order
+	}
+	for _, s := range c.shards {
+		s.mu.Unlock()
+	}
+}

@@ -232,7 +232,9 @@ func (j *journal) rotate() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f != nil {
-		_ = j.f.Close()
+		// Acked frames were already synced per policy; a Close error
+		// here cannot lose acknowledged data.
+		_ = j.f.Close() //ldplint:ok fsiocheck acked frames already synced; nothing to lose at close
 		j.f = nil
 	}
 	j.gen++
@@ -300,7 +302,7 @@ func (j *journal) close() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f != nil {
-		_ = j.f.Close()
+		_ = j.f.Close() //ldplint:ok fsiocheck acked frames already synced; nothing to lose at close
 		j.f = nil
 	}
 }

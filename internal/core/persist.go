@@ -173,7 +173,7 @@ func NewStoreFS(dir string, fsys fsio.FS, journalSync string) (*Store, error) {
 		return nil, fmt.Errorf("core: sweeping stray checkpoint temp files: %w", err)
 	}
 	for _, s := range strays {
-		_ = fsys.Remove(s)
+		_ = fsys.Remove(s) //ldplint:ok fsiocheck stray temp from an interrupted checkpoint; harmless if it survives
 	}
 	return &Store{
 		dir:         dir,
@@ -250,7 +250,7 @@ func (st *Store) Attach(c *Collection) error {
 	}
 	gen := 1
 	for _, s := range segs {
-		_ = st.fs.Remove(s.path)
+		_ = st.fs.Remove(s.path) //ldplint:ok fsiocheck pre-attach segment; replay skips it via the generation floor
 		if s.gen >= gen {
 			gen = s.gen + 1
 		}
@@ -446,14 +446,14 @@ func (st *Store) writeAtomic(path string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	defer st.fs.Remove(tmp.Name()) // no-op after a successful rename
+	// The temp file is swept at the next Store open if this crashes;
+	// after a successful rename the remove is a no-op.
+	defer st.fs.Remove(tmp.Name()) //ldplint:ok fsiocheck best-effort cleanup; strays are swept at open
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Close(); err != nil {
 		return err
@@ -510,7 +510,7 @@ func (st *Store) Remove(reg *CollectionRegistry, name string) error {
 	}
 	if segs, err := journalSegments(st.fs, st.dir, name); err == nil {
 		for _, s := range segs {
-			_ = st.fs.Remove(s.path)
+			_ = st.fs.Remove(s.path) //ldplint:ok fsiocheck best-effort; a surviving segment is re-dropped or quarantined at Load
 		}
 	}
 	if err := st.fs.Remove(st.path(name)); err != nil {
@@ -573,7 +573,7 @@ func (st *Store) quarantine(path string, reason error) {
 		log.Printf("core: quarantining %s: %v (original error: %v)", filepath.Base(path), err, reason)
 		return
 	}
-	_ = st.fs.SyncDir(st.dir)
+	_ = st.fs.SyncDir(st.dir) //ldplint:ok fsiocheck best-effort; an undurable quarantine rename re-fails safely next startup
 	log.Printf("core: quarantined %s%s: %v", filepath.Base(path), corruptExt, reason)
 }
 
@@ -632,7 +632,7 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 				log.Printf("core: restore %q: %v (and could not set snapshot aside: %v)", name, err, rerr)
 				continue
 			}
-			_ = st.fs.SyncDir(st.dir)
+			_ = st.fs.SyncDir(st.dir) //ldplint:ok fsiocheck best-effort; an undurable set-aside re-fails safely next startup
 			log.Printf("core: restore %q: %v (snapshot set aside as %s)", name, err, filepath.Base(aside))
 			continue
 		}
@@ -714,7 +714,7 @@ func (st *Store) replayJournal(c *Collection, snap CollectionSnapshot) (int, err
 		if s.gen < snap.JournalGen {
 			// Folded into the snapshot already; a crash between the
 			// snapshot rename and the segment drop leaves these behind.
-			_ = st.fs.Remove(s.path)
+			_ = st.fs.Remove(s.path) //ldplint:ok fsiocheck superseded by the durable snapshot; re-dropped next startup
 			continue
 		}
 		if stopped {

@@ -665,7 +665,11 @@ func (a *ShardedAggregator) advanceLocked() error {
 	a.phaseMu.Lock()
 	defer a.phaseMu.Unlock()
 	for _, s := range a.shards {
-		s.mu.Lock()
+		// Same-rank sweep: every shard lock is taken in slice (index)
+		// order, the one canonical order, so two sweeps cannot
+		// deadlock — and ingestion only ever holds a single shard
+		// lock at a time.
+		s.mu.Lock() //ldplint:ok lockorder all-shard sweep in canonical index order
 	}
 	defer func() {
 		for _, s := range a.shards {

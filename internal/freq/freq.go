@@ -110,6 +110,18 @@ func stateShapeError(name string) error {
 	return fmt.Errorf("freq: %s state has malformed tallies", name)
 }
 
+// checkStateVersion rejects state blobs tagged with a format revision
+// this build does not know. Version 0 is the current (untagged)
+// format — the tag is omitted on marshal so existing snapshots stay
+// bit-identical — and any other value means the blob was written by a
+// future revision and must not be reinterpreted field-by-field.
+func checkStateVersion(name string, v int) error {
+	if v != 0 {
+		return fmt.Errorf("freq: %s state: unsupported state version %d", name, v)
+	}
+	return nil
+}
+
 // checkStateShape validates the parts every mechanism state shares.
 func checkStateShape(name string, n, gotLen, wantLen int) error {
 	if n < 0 || gotLen != wantLen {

@@ -137,6 +137,7 @@ func (g *GRR) snapshotGRR() *GRR {
 
 // grrState is the serialized aggregate of a GRR (or BinaryRR) oracle.
 type grrState struct {
+	V         int     `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string  `json:"mechanism"`
 	Epsilon   float64 `json:"epsilon"`
 	Domain    int     `json:"domain"`
@@ -160,6 +161,9 @@ func (g *GRR) unmarshalStateAs(name string, data []byte) error {
 	var st grrState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(name, err)
+	}
+	if err := checkStateVersion(name, st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != name || st.Epsilon != g.epsilon || st.Domain != g.d {
 		return stateParamError(name)

@@ -124,6 +124,7 @@ func (s *SHE) Snapshot() Oracle {
 // float64 and JSON round-trips them exactly (shortest representation
 // that parses back to the same bits).
 type sheState struct {
+	V         int       `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string    `json:"mechanism"`
 	Epsilon   float64   `json:"epsilon"`
 	Domain    int       `json:"domain"`
@@ -143,6 +144,9 @@ func (s *SHE) UnmarshalState(data []byte) error {
 	var st sheState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(s.Name(), err)
+	}
+	if err := checkStateVersion(s.Name(), st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != s.Name() || st.Epsilon != s.epsilon || st.Domain != s.d {
 		return stateParamError(s.Name())
@@ -332,6 +336,7 @@ func (t *THE) Snapshot() Oracle {
 // (and must match on restore) because it determines the (p, q)
 // debiasing constants; p and q themselves are derived, not stored.
 type theState struct {
+	V         int     `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string  `json:"mechanism"`
 	Epsilon   float64 `json:"epsilon"`
 	Domain    int     `json:"domain"`
@@ -353,6 +358,9 @@ func (t *THE) UnmarshalState(data []byte) error {
 	var st theState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(t.Name(), err)
+	}
+	if err := checkStateVersion(t.Name(), st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != t.Name() || st.Epsilon != t.epsilon || st.Domain != t.d ||
 		st.Theta != t.theta {

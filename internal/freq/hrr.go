@@ -158,6 +158,7 @@ func (h *HRR) Snapshot() Oracle {
 // coefficient sums run over the padded power-of-two domain, which is
 // derived from the logical domain and therefore not stored separately.
 type hrrState struct {
+	V         int       `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string    `json:"mechanism"`
 	Epsilon   float64   `json:"epsilon"`
 	Domain    int       `json:"domain"`
@@ -177,6 +178,9 @@ func (h *HRR) UnmarshalState(data []byte) error {
 	var st hrrState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(h.Name(), err)
+	}
+	if err := checkStateVersion(h.Name(), st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != h.Name() || st.Epsilon != h.epsilon || st.Domain != h.d {
 		return stateParamError(h.Name())

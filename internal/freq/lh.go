@@ -189,6 +189,7 @@ func (l *LH) Snapshot() Oracle {
 // hash range g is carried (it fixes the debiasing constants) and the
 // name distinguishes BLH from an explicit g=2 LH, mirroring Merge.
 type lhState struct {
+	V         int       `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string    `json:"mechanism"`
 	Epsilon   float64   `json:"epsilon"`
 	Domain    int       `json:"domain"`
@@ -210,6 +211,9 @@ func (l *LH) UnmarshalState(data []byte) error {
 	var st lhState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(l.name, err)
+	}
+	if err := checkStateVersion(l.name, st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != l.name || st.Epsilon != l.epsilon || st.Domain != l.d || st.G != l.g {
 		return stateParamError(l.name)

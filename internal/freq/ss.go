@@ -186,6 +186,7 @@ func (s *SS) Snapshot() Oracle {
 // ssState is the serialized aggregate of a subset-selection oracle.
 // The subset size k is carried since it fixes (p, q).
 type ssState struct {
+	V         int     `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string  `json:"mechanism"`
 	Epsilon   float64 `json:"epsilon"`
 	Domain    int     `json:"domain"`
@@ -207,6 +208,9 @@ func (s *SS) UnmarshalState(data []byte) error {
 	var st ssState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(s.Name(), err)
+	}
+	if err := checkStateVersion(s.Name(), st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != s.Name() || st.Epsilon != s.epsilon || st.Domain != s.d || st.K != s.k {
 		return stateParamError(s.Name())

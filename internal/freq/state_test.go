@@ -166,3 +166,36 @@ func TestStateFailureLeavesOracleUsable(t *testing.T) {
 		t.Fatal("failed restore mutated the oracle")
 	}
 }
+
+// TestStateRejectsUnknownVersion pins the version gate on every
+// mechanism: the current format omits the tag (so existing snapshots
+// are unchanged), an explicit v=0 tag still restores, and any other
+// tag — a blob from a future format revision — is refused instead of
+// being reinterpreted field-by-field.
+func TestStateRejectsUnknownVersion(t *testing.T) {
+	cfg := Config{Epsilon: 1.2, Domain: 16}
+	for _, m := range Mechanisms() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			o := m.Build(Config{Epsilon: cfg.Epsilon, Domain: cfg.Domain, Source: ldprand.NewSplitMix64(11)})
+			collectSome(o, 13, 100)
+			state, err := o.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(state, []byte(`"v":`)) {
+				t.Fatalf("current format must omit the version tag: %s", state)
+			}
+			fresh := m.Build(cfg)
+			if err := fresh.UnmarshalState(append([]byte(`{"v":99,`), state[1:]...)); err == nil {
+				t.Fatal("restore accepted a version-99 state blob")
+			}
+			if fresh.Collected() != 0 {
+				t.Fatal("failed restore mutated the oracle")
+			}
+			if err := fresh.UnmarshalState(append([]byte(`{"v":0,`), state[1:]...)); err != nil {
+				t.Fatalf("restore rejected an explicit v=0 tag: %v", err)
+			}
+		})
+	}
+}

@@ -173,6 +173,7 @@ func (u *UE) Snapshot() Oracle {
 // (p, q) pair is carried so SUE, OUE and custom-UE state stay mutually
 // exclusive even at equal ε (they debias with different constants).
 type ueState struct {
+	V         int     `json:"v,omitempty"` // 0 = current format; see checkStateVersion
 	Mechanism string  `json:"mechanism"`
 	Epsilon   float64 `json:"epsilon"`
 	Domain    int     `json:"domain"`
@@ -195,6 +196,9 @@ func (u *UE) UnmarshalState(data []byte) error {
 	var st ueState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(u.name, err)
+	}
+	if err := checkStateVersion(u.name, st.V); err != nil {
+		return err
 	}
 	if st.Mechanism != u.name || st.Epsilon != u.epsilon || st.Domain != u.d ||
 		st.P != u.p || st.Q != u.q {

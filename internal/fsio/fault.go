@@ -193,7 +193,7 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 		if torn && len(p) > 1 {
 			// The torn half still lands in the file — what a real
 			// power cut mid-write leaves behind.
-			n, _ := ff.inner.Write(p[:len(p)/2])
+			n, _ := ff.inner.Write(p[:len(p)/2]) //ldplint:ok fsiocheck injected torn write; the error is the one being simulated
 			return n, err
 		}
 		return 0, err

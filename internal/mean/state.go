@@ -36,6 +36,7 @@ func (d *Duchi) Snapshot() *Duchi {
 
 // duchiState is the serialized aggregate of a Duchi estimator.
 type duchiState struct {
+	V         int     `json:"v,omitempty"` // 0 = current format; others refused
 	Mechanism string  `json:"mechanism"`
 	Epsilon   float64 `json:"epsilon"`
 	Sum       float64 `json:"sum"`
@@ -54,6 +55,9 @@ func (d *Duchi) UnmarshalState(data []byte) error {
 	var st duchiState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("mean: Duchi state: %w", err)
+	}
+	if st.V != 0 {
+		return fmt.Errorf("mean: Duchi state: unsupported state version %d", st.V)
 	}
 	if st.Mechanism != "duchi" || st.Epsilon != d.epsilon {
 		return fmt.Errorf("mean: Duchi state parameter mismatch")
@@ -105,6 +109,7 @@ func (h *Harmony) Snapshot() *Harmony {
 
 // harmonyState is the serialized aggregate of a Harmony estimator.
 type harmonyState struct {
+	V         int       `json:"v,omitempty"` // 0 = current format; others refused
 	Mechanism string    `json:"mechanism"`
 	Epsilon   float64   `json:"epsilon"`
 	Dim       int       `json:"dim"`
@@ -123,6 +128,9 @@ func (h *Harmony) UnmarshalState(data []byte) error {
 	var st harmonyState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("mean: Harmony state: %w", err)
+	}
+	if st.V != 0 {
+		return fmt.Errorf("mean: Harmony state: unsupported state version %d", st.V)
 	}
 	if st.Mechanism != "harmony" || st.Epsilon != h.epsilon || st.Dim != h.dim {
 		return fmt.Errorf("mean: Harmony state parameter mismatch")

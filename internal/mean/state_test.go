@@ -1,6 +1,7 @@
 package mean
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
@@ -171,5 +172,44 @@ func TestHarmonyStateRoundTrip(t *testing.T) {
 	back.Reset()
 	if back.Collected() != 0 {
 		t.Fatalf("collected %d after reset", back.Collected())
+	}
+}
+
+// TestStateRejectsUnknownVersion pins the version gate: untagged and
+// explicitly v=0 blobs are the current format, anything else is a
+// future revision and must be refused, leaving the estimator
+// unchanged.
+func TestStateRejectsUnknownVersion(t *testing.T) {
+	d := NewDuchi(1, ldprand.NewSplitMix64(3))
+	for i := 0; i < 50; i++ {
+		d.Aggregate(d.Privatize(0.25))
+	}
+	h := NewHarmony(1, 3, ldprand.NewSplitMix64(5))
+	for i := 0; i < 50; i++ {
+		h.Aggregate(h.Privatize([]float64{0.1, -0.2, 0.3}))
+	}
+	for _, tc := range []struct {
+		name      string
+		marshal   func() ([]byte, error)
+		unmarshal func([]byte) error
+	}{
+		{"duchi", d.MarshalState, NewDuchi(1, nil).UnmarshalState},
+		{"harmony", h.MarshalState, NewHarmony(1, 3, nil).UnmarshalState},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			state, err := tc.marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(state, []byte(`"v":`)) {
+				t.Fatalf("current format must omit the version tag: %s", state)
+			}
+			if err := tc.unmarshal(append([]byte(`{"v":7,`), state[1:]...)); err == nil {
+				t.Fatal("restore accepted a version-7 state blob")
+			}
+			if err := tc.unmarshal(append([]byte(`{"v":0,`), state[1:]...)); err != nil {
+				t.Fatalf("restore rejected an explicit v=0 tag: %v", err)
+			}
+		})
 	}
 }

@@ -36,6 +36,7 @@ func (c *CountMin) Snapshot() *CountMin {
 
 // countMinState is the serialized form of a CountMin sketch.
 type countMinState struct {
+	V     int       `json:"v,omitempty"` // 0 = current format; others refused
 	K     int       `json:"k"`
 	M     int       `json:"m"`
 	Seed  uint64    `json:"seed"`
@@ -60,6 +61,9 @@ func (c *CountMin) UnmarshalState(data []byte) error {
 	var st countMinState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("sketch: count-min state: %w", err)
+	}
+	if st.V != 0 {
+		return fmt.Errorf("sketch: count-min state: unsupported state version %d", st.V)
 	}
 	if st.K != c.k || st.M != c.m || st.Seed != c.seed {
 		return fmt.Errorf("sketch: count-min state parameter mismatch")
@@ -102,6 +106,7 @@ func (c *CountSketch) Snapshot() *CountSketch {
 
 // countSketchState is the serialized form of a CountSketch.
 type countSketchState struct {
+	V    int       `json:"v,omitempty"` // 0 = current format; others refused
 	K    int       `json:"k"`
 	M    int       `json:"m"`
 	Seed uint64    `json:"seed"`
@@ -123,6 +128,9 @@ func (c *CountSketch) UnmarshalState(data []byte) error {
 	var st countSketchState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("sketch: count sketch state: %w", err)
+	}
+	if st.V != 0 {
+		return fmt.Errorf("sketch: count sketch state: unsupported state version %d", st.V)
 	}
 	if st.K != c.k || st.M != c.m || st.Seed != c.seed {
 		return fmt.Errorf("sketch: count sketch state parameter mismatch")

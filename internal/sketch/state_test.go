@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 )
@@ -95,5 +96,39 @@ func TestCountSketchStateRoundTrip(t *testing.T) {
 	}
 	if snap.Estimate([]byte("item-0")) == 0 {
 		t.Fatal("snapshot shares state with the original")
+	}
+}
+
+// TestStateRejectsUnknownVersion pins the version gate on both
+// sketches: the current format omits the tag, v=0 restores, any other
+// tag is refused.
+func TestStateRejectsUnknownVersion(t *testing.T) {
+	cm := NewCountMin(4, 32, 7)
+	cm.Add([]byte("item"), 3)
+	cs := NewCountSketch(4, 32, 7)
+	cs.Add([]byte("item"), 3)
+	for _, tc := range []struct {
+		name      string
+		marshal   func() ([]byte, error)
+		unmarshal func([]byte) error
+	}{
+		{"count-min", cm.MarshalState, NewCountMin(4, 32, 7).UnmarshalState},
+		{"count-sketch", cs.MarshalState, NewCountSketch(4, 32, 7).UnmarshalState},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			state, err := tc.marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(state, []byte(`"v":`)) {
+				t.Fatalf("current format must omit the version tag: %s", state)
+			}
+			if err := tc.unmarshal(append([]byte(`{"v":2,`), state[1:]...)); err == nil {
+				t.Fatal("restore accepted a version-2 state blob")
+			}
+			if err := tc.unmarshal(append([]byte(`{"v":0,`), state[1:]...)); err != nil {
+				t.Fatalf("restore rejected an explicit v=0 tag: %v", err)
+			}
+		})
 	}
 }

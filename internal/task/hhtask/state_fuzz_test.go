@@ -1,0 +1,70 @@
+package hhtask
+
+// Native fuzzing for UnmarshalState: checkpoint blobs arrive from
+// disk, where a crash or operator edit can leave anything, and the
+// envelope contract says restore either succeeds onto a consistent
+// aggregator or refuses loudly — never panics, never half-applies.
+// Seeded with the committed legacy fixture and a current-format
+// snapshot, so mutation explores both accepted layouts.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func FuzzUnmarshalState(f *testing.F) {
+	legacy, err := os.ReadFile(filepath.Join("testdata", "state_legacy_reports.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy)
+
+	live, err := task.New(cfg())
+	if err != nil {
+		f.Fatal(err)
+	}
+	current, err := live.MarshalState()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(current)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":99,"mechanism":"pem"}`))
+	f.Add([]byte(`{"v":2,"mechanism":"pem","epsilon":2,"bits":8,"levels":4,"k":3,"round":1,"prev_users":10,"sums":[1,2]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := task.New(cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.UnmarshalState(data); err != nil {
+			return // refused loudly: the acceptable failure mode
+		}
+		// Accepted states must leave a fully consistent aggregator:
+		// marshal succeeds and the result restores onto a fresh
+		// aggregator reproducing the same bytes — the checkpoint
+		// cycle's fixed point.
+		out, err := a.MarshalState()
+		if err != nil {
+			t.Fatalf("accepted state does not re-marshal: %v", err)
+		}
+		b, err := task.New(cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.UnmarshalState(out); err != nil {
+			t.Fatalf("marshaled state of an accepted restore is refused: %v", err)
+		}
+		out2, err := b.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("restore not a fixed point:\n%s\n%s", out, out2)
+		}
+	})
+}
