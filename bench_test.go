@@ -297,6 +297,57 @@ func BenchmarkServerThroughput(b *testing.B) {
 		// Report per-envelope cost, comparable to the other two runs.
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/report")
 	})
+
+	// The binary wire variants ingest the same logical reports through
+	// the negotiated binary envelopes (same randomness stream, so the
+	// folded values match the JSON runs): the deltas against "sharded"
+	// and "sharded-batch" isolate the codec's decode and allocation
+	// cost from the aggregation architecture.
+	clientBin, err := core.NewClient(core.MechanismGRR, p, ldprand.NewSplitMix64(71))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bins := make([][]byte, pool)
+	for i := range bins {
+		if bins[i], err = clientBin.ReportBinary(values[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("sharded-binary", func(b *testing.B) {
+		agg, err := core.NewFreqShardedAggregator(core.MechanismGRR, p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var i atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := agg.AddBinary(bins[i.Add(1)%pool]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("sharded-batch-binary", func(b *testing.B) {
+		const batch = 256
+		agg, err := core.NewFreqShardedAggregator(core.MechanismGRR, p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var i atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				off := int(i.Add(1)*batch) % (pool - batch)
+				if _, err := agg.AddBatchBinary(bins[off : off+batch]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/report")
+	})
 }
 
 // BenchmarkEnvelopeRoundTrip measures the wire-format overhead of the

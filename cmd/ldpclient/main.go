@@ -32,6 +32,13 @@
 // transport framing only, every value is still randomized
 // independently before it is buffered.
 //
+// With -encoding binary the envelopes travel in the compact binary
+// wire format (Content-Type: application/x-ldp-binary) instead of
+// JSON — same randomization, same validation, fewer bytes. The server
+// advertises which encodings a collection accepts in its /status
+// "encodings" field; hh collections are JSON-only, so -task hh
+// rejects -encoding binary.
+//
 // Requests that fail with a transport error or a retriable status
 // (5xx, 429) are retried up to -retries times with exponential backoff
 // and jitter. Every batch carries a random Idempotency-Key header, and
@@ -73,6 +80,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/binenc"
 	"repro/internal/core"
 	"repro/internal/task"
 	"repro/internal/task/cmstask"
@@ -80,8 +88,36 @@ import (
 	"repro/internal/task/meantask"
 )
 
-// privatizer turns one stdin line into a privatized wire envelope.
+// privatizer turns one stdin line into a privatized wire envelope (a
+// JSON object or a binary frame, per the selected -encoding).
 type privatizer func(line string) (json.RawMessage, error)
+
+// wireCodec is the transport framing half of -encoding: the request
+// media type plus how a slice of envelopes becomes one batch body.
+type wireCodec struct {
+	contentType string
+	binary      bool
+}
+
+var (
+	jsonCodec   = wireCodec{contentType: "application/json"}
+	binaryCodec = wireCodec{contentType: core.ContentTypeBinary, binary: true}
+)
+
+// encodeBatch frames the pending envelopes into one /report/batch
+// body: a JSON array, or the binary count-plus-length-prefixed form.
+func (wc wireCodec) encodeBatch(batch []json.RawMessage) ([]byte, error) {
+	if !wc.binary {
+		return json.Marshal(batch)
+	}
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Uvarint(uint64(len(batch)))
+	for _, env := range batch {
+		w.Blob(env)
+	}
+	return append([]byte(nil), w.Bytes()...), nil
+}
 
 func main() {
 	var (
@@ -99,6 +135,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		retries    = flag.Int("retries", 3, "retry attempts per request on transport errors and 5xx/429 responses (idempotent: every batch carries a dedup key; 0 disables retrying and sends -batch 1 via bare POST /report)")
 		hhAdvance  = flag.Bool("hh-advance", true, "hh: close each round via POST .../advance after reporting its group (disable when the server auto-advances on advance_quota)")
+		encoding   = flag.String("encoding", "json", "report wire encoding: json, or binary for collections that advertise it (freq, mean, sketch)")
 	)
 	flag.Parse()
 	if *batch < 1 {
@@ -107,6 +144,20 @@ func main() {
 	}
 	if *retries < 0 {
 		fmt.Fprintln(os.Stderr, "ldpclient: -retries must be non-negative")
+		os.Exit(2)
+	}
+	codec := jsonCodec
+	switch *encoding {
+	case "json":
+	case "binary":
+		codec = binaryCodec
+		if *taskName == task.TypeHH {
+			// The hh protocol's phased envelopes ride the JSON wire only.
+			fmt.Fprintln(os.Stderr, "ldpclient: -task hh has no binary encoding; use -encoding json")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ldpclient: unknown -encoding %q (have json, binary)\n", *encoding)
 		os.Exit(2)
 	}
 	base := strings.TrimSuffix(*server, "/")
@@ -125,7 +176,7 @@ func main() {
 		return
 	}
 
-	privatize, err := newPrivatizer(*taskName, *mechanism, *epsilon, *domain, *dim, *width, *hashes, *sketchSeed)
+	privatize, err := newPrivatizer(*taskName, *mechanism, *epsilon, *domain, *dim, *width, *hashes, *sketchSeed, codec.binary)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ldpclient:", err)
 		os.Exit(2)
@@ -144,7 +195,7 @@ func main() {
 		if len(pending) == 0 {
 			return
 		}
-		n, err := postBatch(httpClient, base, pending, *retries)
+		n, err := postBatch(httpClient, base, codec, pending, *retries)
 		sent += n
 		failed += len(pending) - n
 		if err != nil {
@@ -171,7 +222,7 @@ func main() {
 				// A single-envelope batch rides the idempotent route, so
 				// a lost acknowledgment can be retried without the risk
 				// of double-counting the report.
-				n, err := postBatch(httpClient, base, []json.RawMessage{env}, *retries)
+				n, err := postBatch(httpClient, base, codec, []json.RawMessage{env}, *retries)
 				sent += n
 				failed += 1 - n
 				if err != nil {
@@ -179,7 +230,7 @@ func main() {
 				}
 				continue
 			}
-			if err := post(httpClient, base+"/report", env); err != nil {
+			if err := post(httpClient, base+"/report", codec.contentType, env); err != nil {
 				fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
 				failed++
 				continue
@@ -209,8 +260,10 @@ func main() {
 }
 
 // newPrivatizer builds the line → envelope function for the selected
-// task family, resolving the per-task default mechanism.
-func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, width, hashes int, sketchSeed uint64) (privatizer, error) {
+// task family, resolving the per-task default mechanism. With binary
+// set the envelopes come out in the task's binary wire layout instead
+// of JSON (the caller ships them under the matching Content-Type).
+func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, width, hashes int, sketchSeed uint64, binary bool) (privatizer, error) {
 	switch taskName {
 	case task.TypeFreq:
 		if mechanism == "" {
@@ -224,6 +277,9 @@ func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, wid
 			v, err := strconv.Atoi(line)
 			if err != nil {
 				return nil, err
+			}
+			if binary {
+				return client.ReportBinary(v)
 			}
 			env, err := client.Report(v)
 			if err != nil {
@@ -255,6 +311,9 @@ func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, wid
 				}
 				x[i] = v
 			}
+			if binary {
+				return client.ReportBinary(x)
+			}
 			return client.Report(x)
 		}, nil
 	case task.TypeSketch:
@@ -269,6 +328,9 @@ func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, wid
 			return nil, err
 		}
 		return func(line string) (json.RawMessage, error) {
+			if binary {
+				return client.ReportBinary([]byte(line))
+			}
 			return client.Report([]byte(line))
 		}, nil
 	default:
@@ -323,7 +385,7 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 			if len(pending) == 0 {
 				return nil
 			}
-			got, err := postBatch(c, base, pending, retries)
+			got, err := postBatch(c, base, jsonCodec, pending, retries)
 			if errors.Is(err, errStaleRound) {
 				left := append(append([]uint64(nil), pendingUsers...), tail...)
 				fmt.Fprintf(os.Stderr, "ldpclient: round %d: %v; re-reporting %d users against the new round\n",
@@ -458,8 +520,8 @@ func postAdvance(c *http.Client, base string, round int) error {
 	return nil
 }
 
-func post(c *http.Client, url string, env json.RawMessage) error {
-	resp, err := c.Post(url, "application/json", bytes.NewReader(env))
+func post(c *http.Client, url, contentType string, env json.RawMessage) error {
+	resp, err := c.Post(url, contentType, bytes.NewReader(env))
 	if err != nil {
 		return err
 	}
@@ -480,14 +542,14 @@ func post(c *http.Client, url string, env json.RawMessage) error {
 // a retry of a batch the server already processed (the acknowledgment
 // was lost, not the request) is answered from the server's dedup
 // record instead of aggregated twice.
-func postBatch(c *http.Client, base string, batch []json.RawMessage, retries int) (int, error) {
-	body, err := json.Marshal(batch)
+func postBatch(c *http.Client, base string, codec wireCodec, batch []json.RawMessage, retries int) (int, error) {
+	body, err := codec.encodeBatch(batch)
 	if err != nil {
 		return 0, err
 	}
 	id := newBatchID()
 	for attempt := 0; ; attempt++ {
-		n, retriable, err := postBatchOnce(c, base, id, body, len(batch))
+		n, retriable, err := postBatchOnce(c, base, id, codec.contentType, body, len(batch))
 		if err == nil || !retriable || attempt >= retries {
 			return n, err
 		}
@@ -502,12 +564,12 @@ func postBatch(c *http.Client, base string, batch []json.RawMessage, retries int
 // 405, a proxy error page, ...) the error carries the HTTP status and
 // a snippet of the body, which is what actually identifies the problem
 // — not the decode failure.
-func postBatchOnce(c *http.Client, base, id string, body []byte, batchLen int) (n int, retriable bool, err error) {
+func postBatchOnce(c *http.Client, base, id, contentType string, body []byte, batchLen int) (n int, retriable bool, err error) {
 	req, err := http.NewRequest(http.MethodPost, base+"/report/batch", bytes.NewReader(body))
 	if err != nil {
 		return 0, false, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	if id != "" {
 		req.Header.Set("Idempotency-Key", id)
 	}

@@ -7,8 +7,9 @@ import (
 	"strings"
 )
 
-// EnvelopeVersion requires every UnmarshalState implementation to
-// gate on a state-version tag before trusting the payload. The
+// EnvelopeVersion requires every UnmarshalState and
+// UnmarshalStateBinary implementation to gate on a state-version tag
+// before trusting the payload. The
 // checkpoint envelope itself is versioned (v2 → v3 → v4 migrations in
 // internal/core), and the aggregator states it wraps carry their own
 // tags for the same reason: a state blob written by a future format
@@ -24,12 +25,20 @@ import (
 // named "V"/"v" or contains "version", looked for in the method body
 // and, depth-limited, through same-package helpers it delegates to
 // (freq's unmarshalStateAs pattern). Delegating to another package's
-// UnmarshalState also satisfies the check — the delegate is analyzed
-// where it is defined.
+// UnmarshalState/UnmarshalStateBinary also satisfies the check — the
+// delegate is analyzed where it is defined. Binary decoders satisfy it
+// the same way JSON ones do: read the version byte into a local named
+// "version" and compare before touching the payload.
 var EnvelopeVersion = &Analyzer{
 	Name: "envelopeversion",
-	Doc:  "require UnmarshalState implementations to refuse unknown state-version tags",
+	Doc:  "require UnmarshalState and UnmarshalStateBinary implementations to refuse unknown state-version tags",
 	Run:  runEnvelopeVersion,
+}
+
+// isStateUnmarshal reports whether the method name is one of the
+// restore entry points the guard requirement covers.
+func isStateUnmarshal(name string) bool {
+	return name == "UnmarshalState" || name == "UnmarshalStateBinary"
 }
 
 // guardDepth bounds how many same-package delegation hops the guard
@@ -40,14 +49,14 @@ const guardDepth = 3
 func runEnvelopeVersion(pass *Pass) error {
 	decls := funcDecls(pass)
 	for fn, decl := range decls {
-		if decl.Recv == nil || fn.Name() != "UnmarshalState" {
+		if decl.Recv == nil || !isStateUnmarshal(fn.Name()) {
 			continue
 		}
 		if hasVersionGuard(pass, decls, decl, guardDepth) {
 			continue
 		}
 		pass.Reportf(decl.Name.Pos(),
-			"UnmarshalState accepts any state version; compare a version tag (the hhtask `st.V != 0 && st.V != stateVersion...` shape) and refuse unknown ones")
+			"%s accepts any state version; compare a version tag (the hhtask `st.V != 0 && st.V != stateVersion...` shape) and refuse unknown ones", fn.Name())
 	}
 	return nil
 }
@@ -72,7 +81,7 @@ func hasVersionGuard(pass *Pass, decls map[*types.Func]*ast.FuncDecl, decl *ast.
 				found = true
 			}
 		case *ast.CallExpr:
-			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "UnmarshalState" {
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isStateUnmarshal(sel.Sel.Name) {
 				if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
 					// Delegation through an interface (the task
 					// adapters wrapping freq.Oracle): the guard lives
@@ -86,7 +95,7 @@ func hasVersionGuard(pass *Pass, decls map[*types.Func]*ast.FuncDecl, decl *ast.
 			if callee == nil {
 				return true
 			}
-			if callee.Pkg() != pass.Pkg && callee.Name() == "UnmarshalState" {
+			if callee.Pkg() != pass.Pkg && isStateUnmarshal(callee.Name()) {
 				// Cross-package delegation: the delegate enforces its
 				// own guard in its own package's ldplint pass.
 				found = true

@@ -71,6 +71,42 @@ type wrapper struct{ in inner }
 // shape: the format owner enforces the guard in its own package.
 func (w *wrapper) UnmarshalState(data []byte) error { return w.in.UnmarshalState(data) }
 
+type binGuarded struct{ n int }
+
+// UnmarshalStateBinary reads its version byte into a local named
+// "version" and compares before the payload — the binary-codec shape.
+func (g *binGuarded) UnmarshalStateBinary(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("empty state")
+	}
+	version := int(data[0])
+	if version != 0 {
+		return fmt.Errorf("unsupported state version %d", version)
+	}
+	g.n = len(data) - 1
+	return nil
+}
+
+type binUnguarded struct{ n int }
+
+// UnmarshalStateBinary trusts whatever layout revision wrote the blob.
+func (u *binUnguarded) UnmarshalStateBinary(data []byte) error { // want `UnmarshalStateBinary accepts any state version`
+	u.n = len(data)
+	return nil
+}
+
+type binInner interface {
+	UnmarshalStateBinary([]byte) error
+}
+
+type binWrapper struct{ in binInner }
+
+// UnmarshalStateBinary delegates through an interface, the adapter
+// shape: the format owner enforces the guard in its own package.
+func (w *binWrapper) UnmarshalStateBinary(data []byte) error {
+	return w.in.UnmarshalStateBinary(data)
+}
+
 type passthrough struct{ raw []byte }
 
 // UnmarshalState keeps no structured state, so there is no tag to

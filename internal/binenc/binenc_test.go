@@ -1,0 +1,137 @@
+package binenc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRoundTrip drives every primitive through a Writer and back
+// through a Reader.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	defer w.Release()
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 5)
+	w.Varint(-12345)
+	w.Uint64(math.MaxUint64)
+	w.Float64(math.Copysign(0, -1))
+	w.Float64(math.NaN())
+	w.String("OLH")
+	w.Blob([]byte{1, 2, 3})
+	w.Ints([]int{0, -1, 1 << 40})
+	w.Int64s([]int64{math.MinInt64, math.MaxInt64})
+	w.Float64s([]float64{1.5, -2.25, math.Inf(1)})
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Errorf("Byte = %d", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+5 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Float64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("Float64 = %v (bits %x)", got, math.Float64bits(got))
+	}
+	if got := r.Float64(); !math.IsNaN(got) {
+		t.Errorf("Float64 = %v, want NaN", got)
+	}
+	if got := r.String(); got != "OLH" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Blob(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Blob = %v", got)
+	}
+	ints := r.Ints()
+	if len(ints) != 3 || ints[0] != 0 || ints[1] != -1 || ints[2] != 1<<40 {
+		t.Errorf("Ints = %v", ints)
+	}
+	i64s := r.Int64s()
+	if len(i64s) != 2 || i64s[0] != math.MinInt64 || i64s[1] != math.MaxInt64 {
+		t.Errorf("Int64s = %v", i64s)
+	}
+	f64s := r.Float64s()
+	if len(f64s) != 3 || f64s[0] != 1.5 || f64s[1] != -2.25 || !math.IsInf(f64s[2], 1) {
+		t.Errorf("Float64s = %v", f64s)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestTruncation checks that every primitive refuses a payload cut
+// short, latching an error instead of panicking or reading past the
+// end.
+func TestTruncation(t *testing.T) {
+	w := NewWriter()
+	defer w.Release()
+	w.Uint64(42)
+	w.Float64s([]float64{1, 2, 3, 4})
+	full := append([]byte(nil), w.Bytes()...)
+
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uint64()
+		r.Float64s()
+		if err := r.Done(); err == nil {
+			t.Errorf("truncation at %d/%d not detected", cut, len(full))
+		}
+	}
+}
+
+// TestLengthLie checks the over-allocation guard: a length prefix
+// claiming more elements than the remaining bytes could hold is
+// refused before any allocation.
+func TestLengthLie(t *testing.T) {
+	w := NewWriter()
+	defer w.Release()
+	w.Uvarint(1 << 40) // claims 2^40 elements, delivers none
+	r := NewReader(w.Bytes())
+	if got := r.Float64s(); got != nil {
+		t.Errorf("Float64s = %v, want nil", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("length-lying prefix not refused")
+	}
+
+	w2 := NewWriter()
+	defer w2.Release()
+	w2.Uvarint(math.MaxUint64) // would overflow a naive int conversion
+	r2 := NewReader(w2.Bytes())
+	if r2.Ints() != nil || r2.Err() == nil {
+		t.Fatal("overflowing length prefix not refused")
+	}
+}
+
+// TestTrailingBytes checks Done rejects unconsumed input.
+func TestTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.Byte()
+	if err := r.Done(); err == nil {
+		t.Fatal("trailing byte not detected")
+	}
+}
+
+// TestStickyError checks reads after an error return zero values.
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	r.Byte() // latches truncation
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint after error = %d", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String after error = %q", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("error not latched")
+	}
+}

@@ -100,6 +100,15 @@ func (c *Client) Report(v int) (Envelope, error) {
 	return Privatize(c.oracle, v)
 }
 
+// ReportBinary privatizes one value into a binary wire envelope, the
+// counterpart of Report for binary-negotiated collections.
+func (c *Client) ReportBinary(v int) ([]byte, error) {
+	if v < 0 || v >= c.params.Domain {
+		return nil, fmt.Errorf("core: value %d outside domain [0,%d)", v, c.params.Domain)
+	}
+	return freqtask.PrivatizeBinary(c.oracle, v)
+}
+
 // ReportBatch privatizes a slice of values into wire envelopes, the
 // payload of one POST /report/batch. Each value is randomized
 // independently, exactly as per-value Report calls would; batching

@@ -329,11 +329,18 @@ func TestSnapshotCorruptionModes(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			idx := strings.Index(string(blob), `"snapshot"`)
-			if idx < 0 || idx+40 >= len(blob) {
-				t.Fatal("snapshot file shape changed; update the corruption offset")
+			// Flip a bit inside the checksummed payload, whichever
+			// framing the file uses: past the CRC word in a binary
+			// container, inside the inner snapshot in a JSON wrapper.
+			idx := len(blob) - len(blob)/4
+			if !bytes.HasPrefix(blob, snapshotMagic) {
+				idx = strings.Index(string(blob), `"snapshot"`)
+				if idx < 0 || idx+40 >= len(blob) {
+					t.Fatal("snapshot file shape changed; update the corruption offset")
+				}
+				idx += 40
 			}
-			blob[idx+40] ^= 0x40
+			blob[idx] ^= 0x40
 			if err := os.WriteFile(path, blob, 0o644); err != nil {
 				t.Fatal(err)
 			}

@@ -6,7 +6,6 @@ package core
 
 import (
 	"encoding/json"
-	"hash/crc32"
 	"os"
 	"testing"
 
@@ -61,20 +60,12 @@ func readSnapshotFile(t testing.TB, path string) CollectionSnapshot {
 	return snap
 }
 
-// writeSnapshotFile writes a properly wrapped (checksummed) current-
-// version snapshot file — the forgery helper for tests that corrupt a
-// specific field rather than the framing.
+// writeSnapshotFile writes a properly framed (checksummed) snapshot
+// file in whichever encoding the snapshot carries — the forgery helper
+// for tests that corrupt a specific field rather than the framing.
 func writeSnapshotFile(t testing.TB, path string, snap CollectionSnapshot) {
 	t.Helper()
-	inner, err := json.Marshal(snap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	blob, err := json.Marshal(snapshotFile{
-		Version:  SnapshotVersion,
-		CRC32C:   crc32.Checksum(inner, crcTable),
-		Snapshot: inner,
-	})
+	blob, err := encodeSnapshot(snap)
 	if err != nil {
 		t.Fatal(err)
 	}

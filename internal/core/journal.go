@@ -70,11 +70,18 @@ const (
 	recordAdvance = "advance"
 )
 
+// EncBinary tags binary-encoded payloads wherever an encoding is
+// recorded: journal batch frames, checkpoint state, /status bodies.
+// The zero value (absent) means JSON everywhere it appears.
+const EncBinary = "bin"
+
 // journalRecord is one frame's JSON payload.
 type journalRecord struct {
 	Kind  string            `json:"kind"`
 	ID    string            `json:"id,omitempty"`    // batch: idempotency key
-	Envs  []json.RawMessage `json:"envs,omitempty"`  // batch: report envelopes as received
+	Envs  []json.RawMessage `json:"envs,omitempty"`  // batch: JSON report envelopes as received
+	Enc   string            `json:"enc,omitempty"`   // batch: EncBinary when Bins carries the reports
+	Bins  [][]byte          `json:"bins,omitempty"`  // batch: binary report payloads (base64 inside the frame JSON)
 	Round int               `json:"round,omitempty"` // advance: the round that was closed
 }
 
@@ -367,6 +374,23 @@ type BatchResult struct {
 // the client retries it. id may be empty (no deduplication; the batch
 // is still journaled).
 func (c *Collection) IngestBatch(id string, batch []json.RawMessage) (BatchResult, error) {
+	return c.ingestBatch(id, journalRecord{Kind: recordBatch, ID: id, Envs: batch}, len(batch),
+		func() (int, error) { return c.agg.AddBatch(batch) })
+}
+
+// IngestBatchBinary is the write-ahead ingest path for a batch of
+// binary wire payloads: the journal frame carries the raw payload
+// bytes (Enc/Bins instead of Envs), and replay folds them through the
+// same binary decoder the live path used. The WAL ordering, dedup and
+// acknowledgment rules are exactly IngestBatch's.
+func (c *Collection) IngestBatchBinary(id string, batch [][]byte) (BatchResult, error) {
+	return c.ingestBatch(id, journalRecord{Kind: recordBatch, ID: id, Enc: EncBinary, Bins: batch}, len(batch),
+		func() (int, error) { return c.agg.AddBatchBinary(batch) })
+}
+
+// ingestBatch runs the claim → journal → fold sequence shared by the
+// JSON and binary batch paths.
+func (c *Collection) ingestBatch(id string, rec journalRecord, size int, fold func() (int, error)) (BatchResult, error) {
 	if id != "" {
 		c.dedupMu.Lock()
 		mark, state := c.dedup.claim(id)
@@ -380,7 +404,7 @@ func (c *Collection) IngestBatch(id string, batch []json.RawMessage) (BatchResul
 	}
 	c.walMu.RLock()
 	if c.journal != nil {
-		if err := c.journal.append(journalRecord{Kind: recordBatch, ID: id, Envs: batch}); err != nil {
+		if err := c.journal.append(rec); err != nil {
 			c.walMu.RUnlock()
 			if id != "" {
 				c.dedupMu.Lock()
@@ -390,9 +414,9 @@ func (c *Collection) IngestBatch(id string, batch []json.RawMessage) (BatchResul
 			return BatchResult{}, err
 		}
 	}
-	accepted, rejectErr := c.agg.AddBatch(batch)
+	accepted, rejectErr := fold()
 	c.walMu.RUnlock()
-	res := BatchResult{Accepted: accepted, Rejected: len(batch) - accepted, RejectErr: rejectErr}
+	res := BatchResult{Accepted: accepted, Rejected: size - accepted, RejectErr: rejectErr}
 	if id != "" {
 		c.dedupMu.Lock()
 		c.dedup.complete(BatchMark{ID: id, Accepted: res.Accepted, Rejected: res.Rejected})
@@ -413,6 +437,19 @@ func (c *Collection) IngestReport(raw json.RawMessage) error {
 		}
 	}
 	return c.agg.Add(raw)
+}
+
+// IngestReportBinary journals and folds one binary wire payload, the
+// binary counterpart of IngestReport.
+func (c *Collection) IngestReportBinary(payload []byte) error {
+	c.walMu.RLock()
+	defer c.walMu.RUnlock()
+	if c.journal != nil {
+		if err := c.journal.append(journalRecord{Kind: recordBatch, Enc: EncBinary, Bins: [][]byte{payload}}); err != nil {
+			return err
+		}
+	}
+	return c.agg.AddBinary(payload)
 }
 
 // AdvanceExpecting closes the collection's current round (see

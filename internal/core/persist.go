@@ -21,6 +21,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,11 +73,29 @@ const corruptExt = ".corrupt"
 //	             the acknowledged batch IDs (batches) that make
 //	             client retries idempotent across restarts. Versions
 //	             0–3 (bare snapshots) still restore unchanged.
+//	5          — binary-state checkpoints: when the collection's task
+//	             implements task.BinaryStater, the file is a binary
+//	             container — the snapshotMagic prefix, a CRC32C, the
+//	             JSON envelope header (everything but the state, with
+//	             enc recording the state encoding) and the raw binary
+//	             state bytes — so a CMS-scale counter matrix is never
+//	             printed as JSON numbers. Tasks without a binary codec
+//	             keep writing version-4 files byte for byte, and
+//	             versions 0–4 still restore bit-identically.
 //
 // Versions above the current one are quarantined at load: a newer
 // build's snapshot may carry semantics this build would silently
 // misread.
-const SnapshotVersion = 4
+const SnapshotVersion = 5
+
+// snapshotVersionJSON is the checksummed JSON wrapper version, still
+// written for collections whose task has no binary state codec.
+const snapshotVersionJSON = 4
+
+// snapshotMagic prefixes version-5 binary checkpoint containers. It is
+// not valid JSON, so older builds quarantine (never misparse) the file,
+// and the decoder dispatches on it before touching any JSON machinery.
+var snapshotMagic = []byte("LDPSNAP5")
 
 // CollectionSnapshot is the on-disk format of one collection: its
 // configuration (enough to rebuild the aggregator, task tag included)
@@ -91,11 +111,16 @@ type CollectionSnapshot struct {
 	Version    int              `json:"version,omitempty"`
 	Name       string           `json:"name"`
 	Config     CollectionConfig `json:"config"`
-	State      json.RawMessage  `json:"state"`
+	State      json.RawMessage  `json:"state,omitempty"`
 	Round      int              `json:"round,omitempty"`
 	Frontier   json.RawMessage  `json:"frontier,omitempty"`
 	JournalGen int              `json:"journal_gen,omitempty"`
 	Batches    []BatchMark      `json:"batches,omitempty"`
+	// Enc records the State encoding: EncBinary for the task's binary
+	// state layout (version-5 containers), absent for JSON. In a
+	// version-5 file this struct sans State is the JSON header and
+	// State holds the raw bytes that follow it.
+	Enc string `json:"enc,omitempty"`
 }
 
 // snapshotFile is the version-4 on-disk wrapper: the inner snapshot's
@@ -122,6 +147,15 @@ type Store struct {
 	saved  map[string]uint64    // collection -> epoch at last successful save
 	names  map[string]*nameLock // per-collection lock serializing Save vs Remove
 	health map[string]*saveHealth
+	sizes  map[string]CheckpointInfo // last written (or restored) snapshot per collection
+}
+
+// CheckpointInfo describes a collection's last durable snapshot — its
+// on-disk size and state encoding — served by /status so operators can
+// see what the binary codec is buying.
+type CheckpointInfo struct {
+	Bytes int64  `json:"checkpoint_bytes"`
+	Enc   string `json:"checkpoint_enc,omitempty"` // EncBinary or absent (JSON)
 }
 
 // saveHealth tracks one collection's checkpoint failures since its
@@ -182,7 +216,17 @@ func NewStoreFS(dir string, fsys fsio.FS, journalSync string) (*Store, error) {
 		saved:       make(map[string]uint64),
 		names:       make(map[string]*nameLock),
 		health:      make(map[string]*saveHealth),
+		sizes:       make(map[string]CheckpointInfo),
 	}, nil
+}
+
+// LastCheckpoint returns the size and encoding of the collection's
+// last written (or startup-restored) snapshot, if one is known.
+func (st *Store) LastCheckpoint(name string) (CheckpointInfo, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	info, ok := st.sizes[name]
+	return info, ok
 }
 
 // lockName acquires the lock serializing disk operations on one
@@ -348,17 +392,21 @@ func (st *Store) save(reg *CollectionRegistry, c *Collection) error {
 		c.walMu.Unlock()
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
-	state, err := merged.MarshalState()
+	state, enc, err := marshalTaskState(merged)
 	if err != nil {
 		c.walMu.Unlock()
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
 	snap := CollectionSnapshot{
-		Version:    SnapshotVersion,
+		Version:    snapshotVersionJSON,
 		Name:       c.name,
 		Config:     c.cfg,
 		State:      state,
 		JournalGen: newGen,
+		Enc:        enc,
+	}
+	if enc == EncBinary {
+		snap.Version = SnapshotVersion
 	}
 	if p, ok := merged.(task.Phased); ok {
 		snap.Round = p.Round()
@@ -372,15 +420,7 @@ func (st *Store) save(reg *CollectionRegistry, c *Collection) error {
 	c.dedupMu.Unlock()
 	c.walMu.Unlock()
 
-	inner, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
-	}
-	blob, err := json.Marshal(snapshotFile{
-		Version:  SnapshotVersion,
-		CRC32C:   crc32.Checksum(inner, crcTable),
-		Snapshot: inner,
-	})
+	blob, err := encodeSnapshot(snap)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint %q: %w", c.name, err)
 	}
@@ -389,6 +429,7 @@ func (st *Store) save(reg *CollectionRegistry, c *Collection) error {
 	}
 	st.mu.Lock()
 	st.saved[c.name] = epoch
+	st.sizes[c.name] = CheckpointInfo{Bytes: int64(len(blob)), Enc: enc}
 	st.mu.Unlock()
 	// The snapshot is durable: every journal generation below newGen is
 	// superseded. Dropping them also clears the journal's broken flag —
@@ -497,6 +538,7 @@ func (st *Store) Remove(reg *CollectionRegistry, name string) error {
 	st.mu.Lock()
 	delete(st.saved, name)
 	delete(st.health, name)
+	delete(st.sizes, name)
 	st.mu.Unlock()
 	if live, ok := reg.FoldedName(name); ok {
 		if live == name {
@@ -522,11 +564,94 @@ func (st *Store) Remove(reg *CollectionRegistry, name string) error {
 	return st.fs.SyncDir(st.dir)
 }
 
+// marshalTaskState serializes a merged aggregate in the task's binary
+// state layout when it has one, falling back to JSON (enc is EncBinary
+// or empty accordingly).
+func marshalTaskState(merged task.Aggregator) (state []byte, enc string, err error) {
+	if bs, ok := merged.(task.BinaryStater); ok {
+		state, err = bs.MarshalStateBinary()
+		if err == nil {
+			return state, EncBinary, nil
+		}
+		if !errors.Is(err, task.ErrBinaryUnsupported) {
+			return nil, "", err
+		}
+	}
+	state, err = merged.MarshalState()
+	return state, "", err
+}
+
+// encodeSnapshot serializes one snapshot into its on-disk bytes: the
+// version-5 binary container for binary task states, the version-4
+// checksummed JSON wrapper otherwise (byte for byte what pre-binary
+// builds wrote).
+func encodeSnapshot(snap CollectionSnapshot) ([]byte, error) {
+	if snap.Enc == EncBinary {
+		state := snap.State
+		snap.State = nil // the header carries everything but the state
+		header, err := json.Marshal(snap)
+		if err != nil {
+			return nil, err
+		}
+		blob := make([]byte, 0, len(snapshotMagic)+4+10+len(header)+len(state))
+		blob = append(blob, snapshotMagic...)
+		blob = append(blob, 0, 0, 0, 0) // CRC32C, patched below
+		blob = binary.AppendUvarint(blob, uint64(len(header)))
+		blob = append(blob, header...)
+		blob = append(blob, state...)
+		crcOff := len(snapshotMagic)
+		binary.LittleEndian.PutUint32(blob[crcOff:crcOff+4], crc32.Checksum(blob[crcOff+4:], crcTable))
+		return blob, nil
+	}
+	inner, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(snapshotFile{
+		Version:  snapshotVersionJSON,
+		CRC32C:   crc32.Checksum(inner, crcTable),
+		Snapshot: inner,
+	})
+}
+
+// decodeSnapshotBinary parses a version-5 binary container (the caller
+// verified the magic prefix).
+func decodeSnapshotBinary(blob []byte) (CollectionSnapshot, error) {
+	data := blob[len(snapshotMagic):]
+	if len(data) < 4 {
+		return CollectionSnapshot{}, errors.New("binary container truncated inside the checksum")
+	}
+	sum := binary.LittleEndian.Uint32(data[:4])
+	body := data[4:]
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return CollectionSnapshot{}, fmt.Errorf("checksum mismatch: file says %08x, contents hash to %08x", sum, got)
+	}
+	hlen, n := binary.Uvarint(body)
+	if n <= 0 || hlen > uint64(len(body)-n) {
+		return CollectionSnapshot{}, errors.New("binary container header length is torn or lying")
+	}
+	var snap CollectionSnapshot
+	if err := json.Unmarshal(body[n:n+int(hlen)], &snap); err != nil {
+		return CollectionSnapshot{}, fmt.Errorf("binary container header: %w", err)
+	}
+	if snap.Version > SnapshotVersion {
+		return CollectionSnapshot{}, fmt.Errorf("version %d is newer than this build's %d", snap.Version, SnapshotVersion)
+	}
+	if snap.Version != SnapshotVersion || snap.Enc != EncBinary {
+		return CollectionSnapshot{}, fmt.Errorf("binary container header claims version %d encoding %q", snap.Version, snap.Enc)
+	}
+	snap.State = json.RawMessage(body[n+int(hlen):])
+	return snap, nil
+}
+
 // decodeSnapshot parses a snapshot file of any supported version,
-// verifying the version-4 wrapper's checksum. Every error it returns
-// means the file is corrupt or foreign — quarantine material, not an
-// infrastructure failure.
+// verifying the version-4 wrapper's (or version-5 container's)
+// checksum. Every error it returns means the file is corrupt or
+// foreign — quarantine material, not an infrastructure failure.
 func decodeSnapshot(blob []byte) (CollectionSnapshot, error) {
+	if bytes.HasPrefix(blob, snapshotMagic) {
+		return decodeSnapshotBinary(blob)
+	}
 	var probe struct {
 		Version int `json:"version"`
 	}
@@ -534,7 +659,7 @@ func decodeSnapshot(blob []byte) (CollectionSnapshot, error) {
 		return CollectionSnapshot{}, fmt.Errorf("not a JSON snapshot: %w", err)
 	}
 	var snap CollectionSnapshot
-	if probe.Version < SnapshotVersion {
+	if probe.Version < snapshotVersionJSON {
 		// A bare pre-checksum snapshot (versions 0–3).
 		if err := json.Unmarshal(blob, &snap); err != nil {
 			return CollectionSnapshot{}, err
@@ -641,7 +766,11 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 			continue
 		}
 		if len(snap.State) > 0 {
-			if err := c.agg.RestoreState(snap.State); err != nil {
+			restore := c.agg.RestoreState
+			if snap.Enc == EncBinary {
+				restore = c.agg.RestoreStateBinary
+			}
+			if err := restore(snap.State); err != nil {
 				reg.Delete(name) // don't leave a half-restored collection serving
 				st.quarantine(path, fmt.Errorf("snapshot %q: %w", name, err))
 				continue
@@ -674,6 +803,9 @@ func (st *Store) Load(reg *CollectionRegistry) ([]string, error) {
 			st.saved[name] = c.agg.Epoch()
 			st.mu.Unlock()
 		}
+		st.mu.Lock()
+		st.sizes[name] = CheckpointInfo{Bytes: int64(len(blob)), Enc: snap.Enc}
+		st.mu.Unlock()
 		restored = append(restored, name)
 	}
 	st.sweepOrphanJournals(reg)
@@ -768,13 +900,21 @@ func (st *Store) replayJournal(c *Collection, snap CollectionSnapshot) (int, err
 func (c *Collection) replayRecord(rec journalRecord) error {
 	switch rec.Kind {
 	case recordBatch:
-		accepted, rejectErr := c.agg.AddBatch(rec.Envs)
+		var accepted, size int
+		var rejectErr error
+		if rec.Enc == EncBinary {
+			size = len(rec.Bins)
+			accepted, rejectErr = c.agg.AddBatchBinary(rec.Bins)
+		} else {
+			size = len(rec.Envs)
+			accepted, rejectErr = c.agg.AddBatch(rec.Envs)
+		}
 		if rejectErr != nil && IsInternal(rejectErr) {
 			return rejectErr
 		}
 		if rec.ID != "" {
 			c.dedupMu.Lock()
-			c.dedup.complete(BatchMark{ID: rec.ID, Accepted: accepted, Rejected: len(rec.Envs) - accepted})
+			c.dedup.complete(BatchMark{ID: rec.ID, Accepted: accepted, Rejected: size - accepted})
 			c.dedupMu.Unlock()
 		}
 		return nil

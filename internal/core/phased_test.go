@@ -545,13 +545,13 @@ func TestSnapshotV2RestoresUnchanged(t *testing.T) {
 	}
 }
 
-// TestSnapshotVersion5Quarantined pins the version guard at exactly
+// TestSnapshotVersion6Quarantined pins the version guard at exactly
 // one past the current version — the first envelope this build must
 // not guess at. The file is set aside, not restored, and startup
 // continues.
-func TestSnapshotVersion5Quarantined(t *testing.T) {
+func TestSnapshotVersion6Quarantined(t *testing.T) {
 	dir := t.TempDir()
-	blob := []byte(`{"version":5,"name":"next","config":{"mechanism":"GRR","epsilon":1,"domain":4},"state":null}`)
+	blob := []byte(`{"version":6,"name":"next","config":{"mechanism":"GRR","epsilon":1,"domain":4},"state":null}`)
 	if err := os.WriteFile(filepath.Join(dir, "next.json"), blob, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,7 +10,9 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 
+	"repro/internal/binenc"
 	"repro/internal/task"
 )
 
@@ -23,6 +26,59 @@ const (
 	maxBatchBytes   = 8 << 20
 	maxControlBytes = 1 << 16
 )
+
+// ContentTypeBinary is the request media type of the binary report
+// wire format. A single report body is one task-defined binary
+// envelope; a batch body is a uvarint report count followed by that
+// many length-prefixed envelopes. Collections advertise whether they
+// accept it in the "encodings" field of /status, /collections and
+// /frontier; posting it to a collection whose task has no binary
+// decoder is a 415.
+const ContentTypeBinary = "application/x-ldp-binary"
+
+// isBinaryReport reports whether the request body declares the binary
+// report media type (parameters after ";" are ignored).
+func isBinaryReport(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), ContentTypeBinary)
+}
+
+// bodyBufPool recycles binary request body buffers, so the binary hot
+// path reads each body into warmed memory instead of allocating per
+// request. Buffers above maxPooledBody are dropped rather than pooled,
+// so one maximal batch does not pin its megabytes forever.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBody = 1 << 20
+
+// readRawBody slurps a binary request body under the size cap into a
+// pooled buffer, answering 413 (oversize) or 400 (transport error)
+// itself. The caller owns the buffer until it calls releaseBodyBuf —
+// after which nothing may alias its bytes.
+func readRawBody(w http.ResponseWriter, r *http.Request, limit int64, what string) (*bytes.Buffer, bool) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
+		releaseBodyBuf(buf)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("%s exceeds %d bytes", what, tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, fmt.Sprintf("bad %s: %v", what, err), http.StatusBadRequest)
+		return nil, false
+	}
+	return buf, true
+}
+
+func releaseBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBody {
+		bodyBufPool.Put(buf)
+	}
+}
 
 // Service is an HTTP aggregation endpoint serving many concurrent
 // surveys: a registry of named collections, each an independent
@@ -188,6 +244,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any, what
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collection) {
+	if isBinaryReport(r) {
+		s.handleReportBinary(w, r, c)
+		return
+	}
 	// The report is decoded only to a raw JSON value here — the
 	// collection's task owns the envelope schema and validates it.
 	var raw json.RawMessage
@@ -195,20 +255,48 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, c *Collec
 		return
 	}
 	if err := c.IngestReport(raw); err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case errors.Is(err, ErrJournal):
-			// The report could not be made durable: not acknowledged,
-			// retry later — the server's problem, not the envelope's.
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, task.ErrWrongRound):
-			// The client's protocol view is stale (the round advanced
-			// under it), not malformed: 409 tells it to refetch the
-			// frontier and re-report, where a 400 would tell it to
-			// "fix" a perfectly well-formed envelope.
-			status = http.StatusConflict
-		}
-		http.Error(w, err.Error(), status)
+		http.Error(w, err.Error(), reportErrStatus(err))
+		return
+	}
+	s.maybeAutoAdvance(c)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// reportErrStatus maps a single-report ingest failure to its HTTP
+// status: a journal failure means "not acknowledged, retry later" (the
+// server's problem, not the envelope's), a wrong-round rejection means
+// the client's protocol view is stale (409 tells it to refetch the
+// frontier and re-report, where a 400 would tell it to "fix" a
+// perfectly well-formed envelope), and everything else is a malformed
+// envelope.
+func reportErrStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrJournal):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, task.ErrWrongRound):
+		return http.StatusConflict
+	case errors.Is(err, ErrBinaryWire):
+		return http.StatusUnsupportedMediaType
+	}
+	return http.StatusBadRequest
+}
+
+// handleReportBinary ingests one binary-encoded report. The gate is
+// per collection: a task without a binary decoder answers 415, and the
+// /status and /frontier bodies advertise which encodings a collection
+// accepts so clients need not probe.
+func (s *Service) handleReportBinary(w http.ResponseWriter, r *http.Request, c *Collection) {
+	if !c.agg.BinaryWire() {
+		http.Error(w, ErrBinaryWire.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
+	buf, ok := readRawBody(w, r, maxReportBytes, "report")
+	if !ok {
+		return
+	}
+	defer releaseBodyBuf(buf)
+	if err := c.IngestReportBinary(buf.Bytes()); err != nil {
+		http.Error(w, err.Error(), reportErrStatus(err))
 		return
 	}
 	s.maybeAutoAdvance(c)
@@ -240,11 +328,58 @@ func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request, c *C
 		http.Error(w, fmt.Sprintf("Idempotency-Key exceeds %d bytes", maxBatchIDBytes), http.StatusBadRequest)
 		return
 	}
+	if isBinaryReport(r) {
+		s.handleReportBatchBinary(w, r, c, id)
+		return
+	}
 	var batch []json.RawMessage
 	if !decodeBody(w, r, maxBatchBytes, &batch, "batch") {
 		return
 	}
 	res, err := c.IngestBatch(id, batch)
+	s.finishBatch(w, c, res, err)
+}
+
+// handleReportBatchBinary ingests a binary-encoded batch: a uvarint
+// report count followed by that many length-prefixed binary envelopes.
+func (s *Service) handleReportBatchBinary(w http.ResponseWriter, r *http.Request, c *Collection, id string) {
+	if !c.agg.BinaryWire() {
+		http.Error(w, ErrBinaryWire.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
+	buf, ok := readRawBody(w, r, maxBatchBytes, "batch")
+	if !ok {
+		return
+	}
+	defer releaseBodyBuf(buf)
+	batch, err := splitBinaryBatch(buf.Bytes())
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	res, err := c.IngestBatchBinary(id, batch)
+	s.finishBatch(w, c, res, err)
+}
+
+// splitBinaryBatch parses a binary batch body into per-report payload
+// slices aliasing the body buffer (the ingest call copies what it
+// keeps, so the aliases die with the request).
+func splitBinaryBatch(data []byte) ([][]byte, error) {
+	r := binenc.NewReader(data)
+	n := r.Length(1)
+	batch := make([][]byte, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		batch = append(batch, r.Blob())
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+// finishBatch turns an IngestBatch result into the HTTP response, the
+// shared tail of the JSON and binary batch routes.
+func (s *Service) finishBatch(w http.ResponseWriter, c *Collection, res BatchResult, err error) {
 	if err != nil {
 		if errors.Is(err, ErrBatchInFlight) {
 			// The first attempt with this key is still processing —
@@ -381,6 +516,7 @@ type FrontierResponse struct {
 	Phase        string          `json:"phase"`
 	Reports      int             `json:"reports"`
 	RoundReports int             `json:"round_reports"`
+	Encodings    []string        `json:"encodings"`
 	Frontier     json.RawMessage `json:"frontier"`
 }
 
@@ -405,6 +541,7 @@ func frontierResponseFor(c *Collection) (FrontierResponse, error) {
 		Phase:        phaseOf(c.agg),
 		Reports:      c.agg.Collected(),
 		RoundReports: c.agg.RoundReports(),
+		Encodings:    encodingsFor(c),
 		Frontier:     frontier,
 	}, nil
 }
@@ -486,9 +623,25 @@ type StatusResponse struct {
 	Round        *int   `json:"round,omitempty"`
 	RoundReports *int   `json:"round_reports,omitempty"`
 	Phase        string `json:"phase,omitempty"`
+	// Encodings lists the report wire encodings the collection accepts
+	// ("json" always; "binary" when the task has a binary decoder), and
+	// the embedded CheckpointInfo carries the size and state encoding of
+	// the collection's last durable snapshot when a store tracks one.
+	Encodings []string `json:"encodings"`
+	*CheckpointInfo
 }
 
-func statusFor(c *Collection) StatusResponse {
+// encodingsFor lists the report wire encodings a collection accepts,
+// most compact last (the order clients should prefer is theirs to
+// choose; the gate is per collection, not per deployment).
+func encodingsFor(c *Collection) []string {
+	if c.agg.BinaryWire() {
+		return []string{"json", "binary"}
+	}
+	return []string{"json"}
+}
+
+func (s *Service) statusFor(c *Collection) StatusResponse {
 	st := StatusResponse{
 		Collection: c.name,
 		Task:       c.agg.TaskType(),
@@ -501,12 +654,18 @@ func statusFor(c *Collection) StatusResponse {
 		Shards:     c.agg.Shards(),
 		Reports:    c.agg.Collected(),
 		ReportBits: c.agg.ReportBits(),
+		Encodings:  encodingsFor(c),
 	}
 	if c.agg.Phased() {
 		round, roundReports := c.agg.Round(), c.agg.RoundReports()
 		st.Round = &round
 		st.RoundReports = &roundReports
 		st.Phase = phaseOf(c.agg)
+	}
+	if s.store != nil {
+		if info, ok := s.store.LastCheckpoint(c.name); ok {
+			st.CheckpointInfo = &info
+		}
 	}
 	return st
 }
@@ -515,7 +674,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, c *Collec
 	// Metadata only — no need for the full merge /estimate performs,
 	// and Collected reads an atomic counter, so status polling never
 	// touches a shard lock.
-	writeJSON(w, http.StatusOK, statusFor(c))
+	writeJSON(w, http.StatusOK, s.statusFor(c))
 }
 
 // CreateCollectionRequest is the JSON body of POST /collections. The
@@ -663,14 +822,14 @@ func (s *Service) handleCollectionCreate(w http.ResponseWriter, r *http.Request)
 			log.Printf("core: initial checkpoint of collection %q failed, kept memory-only until a checkpoint succeeds: %v", c.name, err)
 		}
 	}
-	writeJSON(w, http.StatusCreated, statusFor(c))
+	writeJSON(w, http.StatusCreated, s.statusFor(c))
 }
 
 func (s *Service) handleCollectionList(w http.ResponseWriter, r *http.Request) {
 	cols := s.reg.Collections()
 	out := make([]StatusResponse, 0, len(cols))
 	for _, c := range cols {
-		out = append(out, statusFor(c))
+		out = append(out, s.statusFor(c))
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -51,6 +51,18 @@ type ShardedAggregator struct {
 	// implements plain Add.
 	prepare func(json.RawMessage) (any, error)
 
+	// prepareBinary is the task.BinaryReporter decode half when the
+	// task implements it: binary wire envelopes decode outside the
+	// shard locks exactly like JSON ones, and the prepared values fold
+	// through the same task.Preparer path. nil when the task speaks
+	// only JSON on the wire.
+	prepareBinary func([]byte) (any, error)
+
+	// binaryState is set when the task implements task.BinaryStater,
+	// so checkpoints (and /status) know the collection can snapshot in
+	// the binary layout without asserting per call.
+	binaryState bool
+
 	// collected counts accepted reports across all shards, maintained
 	// atomically so Collected — which backs every /status hit and the
 	// collection listing — never takes the shard locks. It is advanced
@@ -144,9 +156,21 @@ func NewShardedAggregator(cfg task.Config, shards int) (*ShardedAggregator, erro
 	if p, ok := a.shards[0].agg.(task.Preparer); ok {
 		a.prepare = p.Prepare
 	}
+	if b, ok := a.shards[0].agg.(task.BinaryReporter); ok {
+		a.prepareBinary = b.PrepareBinary
+	}
+	_, a.binaryState = a.shards[0].agg.(task.BinaryStater)
 	_, a.phased = a.shards[0].agg.(task.Phased)
 	return a, nil
 }
+
+// BinaryWire reports whether the collection's task accepts binary wire
+// report envelopes (implements task.BinaryReporter).
+func (a *ShardedAggregator) BinaryWire() bool { return a.prepareBinary != nil }
+
+// BinaryState reports whether the collection's task snapshots in the
+// binary state layout (implements task.BinaryStater).
+func (a *ShardedAggregator) BinaryState() bool { return a.binaryState }
 
 // NewFreqShardedAggregator builds a sharded frequency aggregator from
 // the legacy (mechanism, params) surface.
@@ -224,6 +248,32 @@ func (a *ShardedAggregator) Add(raw json.RawMessage) error {
 	return err
 }
 
+// ErrBinaryWire is returned when a binary wire payload reaches a
+// collection whose task has no binary decoder; HTTP maps it to 415.
+var ErrBinaryWire = errors.New("core: collection task does not accept binary reports")
+
+// AddBinary validates and folds one binary wire envelope into its
+// shard, the binary counterpart of Add: decode outside the lock, fold
+// under it.
+func (a *ShardedAggregator) AddBinary(payload []byte) error {
+	if a.prepareBinary == nil {
+		return ErrBinaryWire
+	}
+	prepared, err := a.prepareBinary(payload)
+	if err != nil {
+		return err
+	}
+	s := a.shards[a.route(payload)]
+	s.mu.Lock()
+	err = s.agg.(task.Preparer).Fold(prepared)
+	s.mu.Unlock()
+	if err == nil {
+		a.collected.Add(1)
+		a.epoch.Add(1)
+	}
+	return err
+}
+
 // batchChunk bounds how long one stripe lock is held: a large batch is
 // aggregated in chunks, each routed independently, so a single 8 MiB
 // batch of tiny envelopes cannot pin one shard (stalling the single
@@ -252,6 +302,63 @@ const maxBatchErrors = 16
 // remainder is still aggregated. It returns the number of envelopes
 // accepted.
 func (a *ShardedAggregator) AddBatch(batch []json.RawMessage) (int, error) {
+	if a.prepare != nil {
+		return a.addBatchPrepared(len(batch),
+			func(i int) []byte { return batch[i] },
+			func(payload []byte) (any, error) { return a.prepare(payload) })
+	}
+	accepted, suppressed := 0, 0
+	var errs []error
+	reject := func(i int, err error) {
+		if len(errs) < maxBatchErrors {
+			errs = append(errs, fmt.Errorf("envelope %d: %w", i, err))
+		} else {
+			suppressed++
+		}
+	}
+	for off := 0; off < len(batch); off += batchChunk {
+		chunk := batch[off:min(off+batchChunk, len(batch))]
+		sh := a.shards[a.route(chunk[0])]
+		sh.mu.Lock()
+		for i := range chunk {
+			if err := sh.agg.Add(chunk[i]); err != nil {
+				reject(off+i, err)
+				continue
+			}
+			accepted++
+		}
+		sh.mu.Unlock()
+	}
+	if accepted > 0 {
+		a.collected.Add(int64(accepted))
+		a.epoch.Add(uint64(accepted))
+	}
+	if suppressed > 0 {
+		errs = append(errs, fmt.Errorf("and %d more rejected envelopes", suppressed))
+	}
+	return accepted, errors.Join(errs...)
+}
+
+// AddBatchBinary folds a batch of binary wire envelopes with the exact
+// chunking and lock discipline of AddBatch's Preparer path: the whole
+// chunk decodes before its lock is taken, invalid payloads are skipped
+// and reported, and the valid remainder is aggregated.
+func (a *ShardedAggregator) AddBatchBinary(batch [][]byte) (int, error) {
+	if a.prepareBinary == nil {
+		return 0, ErrBinaryWire
+	}
+	return a.addBatchPrepared(len(batch),
+		func(i int) []byte { return batch[i] },
+		a.prepareBinary)
+}
+
+// addBatchPrepared is the shared prepare-outside/fold-inside batch
+// loop: payloads (fetched by index, so JSON and binary batches share
+// it without copying into a common slice type) decode via prepare
+// before each chunk's lock is taken, and only the folds run under it.
+// The prepared slice is reused across chunks, so a steady batch load
+// allocates no per-chunk bookkeeping.
+func (a *ShardedAggregator) addBatchPrepared(n int, payload func(int) []byte, prepare func([]byte) (any, error)) (int, error) {
 	accepted, suppressed := 0, 0
 	var errs []error
 	reject := func(i int, err error) {
@@ -265,39 +372,27 @@ func (a *ShardedAggregator) AddBatch(batch []json.RawMessage) (int, error) {
 		idx int // index in batch, for accurate rejection errors
 		val any
 	}
-	var prepared []preparedReport // reused across chunks on the Preparer path
-	for off := 0; off < len(batch); off += batchChunk {
-		chunk := batch[off:min(off+batchChunk, len(batch))]
-		sh := a.shards[a.route(chunk[0])]
-		if a.prepare != nil {
-			prepared = prepared[:0]
-			for i := range chunk {
-				v, err := a.prepare(chunk[i])
-				if err != nil {
-					reject(off+i, err)
-					continue
-				}
-				prepared = append(prepared, preparedReport{idx: off + i, val: v})
+	var prepared []preparedReport // reused across chunks
+	for off := 0; off < n; off += batchChunk {
+		end := min(off+batchChunk, n)
+		sh := a.shards[a.route(payload(off))]
+		prepared = prepared[:0]
+		for i := off; i < end; i++ {
+			v, err := prepare(payload(i))
+			if err != nil {
+				reject(i, err)
+				continue
 			}
-			folder := sh.agg.(task.Preparer)
-			sh.mu.Lock()
-			for _, p := range prepared {
-				// Fold after a successful Prepare does not fail (the
-				// Preparer contract); a failure here still only drops
-				// the one report.
-				if err := folder.Fold(p.val); err != nil {
-					reject(p.idx, err)
-					continue
-				}
-				accepted++
-			}
-			sh.mu.Unlock()
-			continue
+			prepared = append(prepared, preparedReport{idx: i, val: v})
 		}
+		folder := sh.agg.(task.Preparer)
 		sh.mu.Lock()
-		for i := range chunk {
-			if err := sh.agg.Add(chunk[i]); err != nil {
-				reject(off+i, err)
+		for _, p := range prepared {
+			// Fold after a successful Prepare does not fail (the
+			// Preparer contract); a failure here still only drops
+			// the one report.
+			if err := folder.Fold(p.val); err != nil {
+				reject(p.idx, err)
 				continue
 			}
 			accepted++
@@ -502,6 +597,21 @@ func (a *ShardedAggregator) MarshalState() ([]byte, error) {
 	return merged.MarshalState()
 }
 
+// MarshalStateBinary serializes the combined state in the task's
+// binary layout (task.ErrBinaryUnsupported when the task has none, the
+// signal for the checkpoint store to fall back to JSON).
+func (a *ShardedAggregator) MarshalStateBinary() ([]byte, error) {
+	merged, err := a.MergedCached()
+	if err != nil {
+		return nil, err
+	}
+	bs, ok := merged.(task.BinaryStater)
+	if !ok {
+		return nil, task.ErrBinaryUnsupported
+	}
+	return bs.MarshalStateBinary()
+}
+
 // RestoreState loads a state blob produced by MarshalState into the
 // aggregator, which must be empty (restore happens at startup, before
 // ingestion begins — restoring over live data would double-count).
@@ -511,12 +621,31 @@ func (a *ShardedAggregator) MarshalState() ([]byte, error) {
 // position, so every shard validates report rounds identically from
 // the first post-restore request.
 func (a *ShardedAggregator) RestoreState(data []byte) error {
+	return a.restoreState(data, false)
+}
+
+// RestoreStateBinary loads a state blob produced by MarshalStateBinary,
+// under the same empty-aggregator contract as RestoreState.
+func (a *ShardedAggregator) RestoreStateBinary(data []byte) error {
+	return a.restoreState(data, true)
+}
+
+func (a *ShardedAggregator) restoreState(data []byte, binary bool) error {
 	if a.Collected() != 0 || a.collectedWalk() != 0 {
 		return errors.New("core: cannot restore state into a non-empty aggregator")
 	}
 	s := a.shards[0]
 	s.mu.Lock()
-	err := s.agg.UnmarshalState(data)
+	var err error
+	if binary {
+		if bs, ok := s.agg.(task.BinaryStater); ok {
+			err = bs.UnmarshalStateBinary(data)
+		} else {
+			err = task.ErrBinaryUnsupported
+		}
+	} else {
+		err = s.agg.UnmarshalState(data)
+	}
 	restored := s.agg.Collected()
 	s.mu.Unlock()
 	if err != nil {

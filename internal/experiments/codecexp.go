@@ -1,0 +1,277 @@
+package experiments
+
+// E19: the wire/snapshot codec comparison backing the binary hot
+// path. Every other experiment reproduces an accuracy result; this
+// one reproduces the systems claim — per-report wire bytes and
+// checkpoint encode/restore cost, JSON vs the versioned binary
+// codecs, at a configurable sketch scale. cmd/ldpbench re-exports the
+// structured summary into its -json output so the BENCH_PR*.json
+// trajectory records the measured ratios, not just wall clocks.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/cmstask"
+	"repro/internal/task/freqtask"
+	"repro/internal/task/meantask"
+)
+
+// CodecReportCost is one mechanism's average wire cost per report in
+// both encodings, over a fixed sample of privatized reports.
+type CodecReportCost struct {
+	Task      string  `json:"task"`
+	Mechanism string  `json:"mechanism"`
+	JSONBytes float64 `json:"json_bytes"`
+	BinBytes  float64 `json:"binary_bytes"`
+	Ratio     float64 `json:"json_over_binary"`
+}
+
+// CodecSnapshotCost is the checkpoint-state cost of one populated
+// CMS-style sketch collection in both encodings: state size, encode
+// and restore wall time, and the derived throughput figures.
+type CodecSnapshotCost struct {
+	Width          int     `json:"width"`
+	Hashes         int     `json:"hashes"`
+	Reports        int     `json:"reports"`
+	JSONBytes      int     `json:"json_state_bytes"`
+	BinBytes       int     `json:"binary_state_bytes"`
+	SizeRatio      float64 `json:"json_over_binary_size"`
+	JSONEncodeSec  float64 `json:"json_encode_seconds"`
+	BinEncodeSec   float64 `json:"binary_encode_seconds"`
+	JSONEncodeMBps float64 `json:"json_encode_mb_per_s"`
+	BinEncodeMBps  float64 `json:"binary_encode_mb_per_s"`
+	JSONRestoreSec float64 `json:"json_restore_seconds"`
+	BinRestoreSec  float64 `json:"binary_restore_seconds"`
+	JSONDecodeMBps float64 `json:"json_restore_mb_per_s"`
+	BinDecodeMBps  float64 `json:"binary_restore_mb_per_s"`
+	RestoreSpeedup float64 `json:"restore_speedup"`
+}
+
+// CodecSummary is the machine-readable result of the codec
+// comparison, the `codec` section of ldpbench's -json output.
+type CodecSummary struct {
+	Epsilon  float64           `json:"epsilon"`
+	Domain   int               `json:"freq_domain"`
+	Sample   int               `json:"reports_sampled"`
+	Reports  []CodecReportCost `json:"bytes_per_report"`
+	Snapshot CodecSnapshotCost `json:"snapshot"`
+}
+
+// codecSample is how many privatized reports each mechanism's wire
+// cost is averaged over.
+const codecSample = 100
+
+// Codec measures both codecs across the task families: average wire
+// bytes per report for every frequency mechanism plus the mean and
+// sketch clients, then the snapshot cost of a CMS collection with the
+// given sketch geometry (width cells per row, hashes rows). The
+// sketch is populated with enough privatized reports to touch nearly
+// every row, so the JSON state carries realistic long-decimal floats
+// rather than compressible zeros.
+func Codec(cfg Config, width, hashes int) (CodecSummary, error) {
+	const (
+		eps    = 2.0
+		domain = 1024
+	)
+	sum := CodecSummary{Epsilon: eps, Domain: domain, Sample: codecSample}
+	src := ldprand.NewSplitMix64(cfg.Seed)
+
+	for _, mech := range freqtask.Mechanisms() {
+		o, err := freqtask.NewOracle(mech, eps, domain, src)
+		if err != nil {
+			return sum, err
+		}
+		var jb, bb int
+		for i := 0; i < codecSample; i++ {
+			v := ldprand.Intn(src, domain)
+			env, err := freqtask.Privatize(o, v)
+			if err != nil {
+				return sum, err
+			}
+			raw, err := json.Marshal(env)
+			if err != nil {
+				return sum, err
+			}
+			bin, err := freqtask.PrivatizeBinary(o, v)
+			if err != nil {
+				return sum, err
+			}
+			jb += len(raw)
+			bb += len(bin)
+		}
+		sum.Reports = append(sum.Reports, reportCost("freq", mech, jb, bb))
+	}
+
+	for _, mech := range []string{meantask.MechanismDuchi, meantask.MechanismHarmony} {
+		dim := 1
+		if mech == meantask.MechanismHarmony {
+			dim = 8
+		}
+		mcfg := task.Config{Task: task.TypeMean, Mechanism: mech, Epsilon: eps, Dim: dim}
+		client, err := meantask.NewClient(mcfg, src)
+		if err != nil {
+			return sum, err
+		}
+		var jb, bb int
+		for i := 0; i < codecSample; i++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = 2*ldprand.Float64(src) - 1
+			}
+			raw, err := client.Report(x)
+			if err != nil {
+				return sum, err
+			}
+			bin, err := client.ReportBinary(x)
+			if err != nil {
+				return sum, err
+			}
+			jb += len(raw)
+			bb += len(bin)
+		}
+		sum.Reports = append(sum.Reports, reportCost("mean", mech, jb, bb))
+	}
+
+	for _, mech := range cmstask.Mechanisms() {
+		scfg := task.Config{Task: task.TypeSketch, Mechanism: mech, Epsilon: eps, Width: 1024, Hashes: 16, SketchSeed: cfg.Seed}
+		client, err := cmstask.NewClient(scfg, src)
+		if err != nil {
+			return sum, err
+		}
+		var jb, bb int
+		for i := 0; i < codecSample; i++ {
+			item := []byte(fmt.Sprintf("item-%d", ldprand.Intn(src, 64)))
+			raw, err := client.Report(item)
+			if err != nil {
+				return sum, err
+			}
+			bin, err := client.ReportBinary(item)
+			if err != nil {
+				return sum, err
+			}
+			jb += len(raw)
+			bb += len(bin)
+		}
+		sum.Reports = append(sum.Reports, reportCost("sketch", mech, jb, bb))
+	}
+
+	snap, err := codecSnapshot(cfg, width, hashes, src)
+	if err != nil {
+		return sum, err
+	}
+	sum.Snapshot = snap
+	return sum, nil
+}
+
+// reportCost folds one mechanism's byte totals into averages.
+func reportCost(taskName, mech string, jsonTotal, binTotal int) CodecReportCost {
+	jb := float64(jsonTotal) / codecSample
+	bb := float64(binTotal) / codecSample
+	return CodecReportCost{Task: taskName, Mechanism: mech, JSONBytes: jb, BinBytes: bb, Ratio: jb / bb}
+}
+
+// codecSnapshot populates one CMS sketch and measures its state in
+// both codecs. Each CMS report folds into a single sampled row, so
+// 4×hashes reports leave ~98% of the rows carrying privatized floats
+// — the realistic occupancy a deployed collection checkpoints.
+func codecSnapshot(cfg Config, width, hashes int, src ldprand.Source) (CodecSnapshotCost, error) {
+	scfg := task.Config{Task: task.TypeSketch, Mechanism: cmstask.MechanismCMS, Epsilon: 2, Width: width, Hashes: hashes, SketchSeed: cfg.Seed}
+	agg, err := task.New(scfg)
+	if err != nil {
+		return CodecSnapshotCost{}, err
+	}
+	client, err := cmstask.NewClient(scfg, src)
+	if err != nil {
+		return CodecSnapshotCost{}, err
+	}
+	reports := 4 * hashes
+	prep := agg.(task.BinaryReporter)
+	for i := 0; i < reports; i++ {
+		bin, err := client.ReportBinary([]byte(fmt.Sprintf("item-%d", ldprand.Intn(src, 4096))))
+		if err != nil {
+			return CodecSnapshotCost{}, err
+		}
+		prepared, err := prep.PrepareBinary(bin)
+		if err != nil {
+			return CodecSnapshotCost{}, err
+		}
+		if err := prep.Fold(prepared); err != nil {
+			return CodecSnapshotCost{}, err
+		}
+	}
+
+	out := CodecSnapshotCost{Width: width, Hashes: hashes, Reports: reports}
+	start := time.Now()
+	jsonState, err := agg.MarshalState()
+	if err != nil {
+		return out, err
+	}
+	out.JSONEncodeSec = time.Since(start).Seconds()
+	bs := agg.(task.BinaryStater)
+	start = time.Now()
+	binState, err := bs.MarshalStateBinary()
+	if err != nil {
+		return out, err
+	}
+	out.BinEncodeSec = time.Since(start).Seconds()
+	out.JSONBytes, out.BinBytes = len(jsonState), len(binState)
+
+	fresh, err := task.New(scfg)
+	if err != nil {
+		return out, err
+	}
+	start = time.Now()
+	if err := fresh.UnmarshalState(jsonState); err != nil {
+		return out, err
+	}
+	out.JSONRestoreSec = time.Since(start).Seconds()
+	fresh, err = task.New(scfg)
+	if err != nil {
+		return out, err
+	}
+	start = time.Now()
+	if err := fresh.(task.BinaryStater).UnmarshalStateBinary(binState); err != nil {
+		return out, err
+	}
+	out.BinRestoreSec = time.Since(start).Seconds()
+
+	mbps := func(bytes int, sec float64) float64 {
+		if sec <= 0 {
+			return 0
+		}
+		return float64(bytes) / (1 << 20) / sec
+	}
+	out.SizeRatio = float64(out.JSONBytes) / float64(out.BinBytes)
+	out.JSONEncodeMBps = mbps(out.JSONBytes, out.JSONEncodeSec)
+	out.BinEncodeMBps = mbps(out.BinBytes, out.BinEncodeSec)
+	out.JSONDecodeMBps = mbps(out.JSONBytes, out.JSONRestoreSec)
+	out.BinDecodeMBps = mbps(out.BinBytes, out.BinRestoreSec)
+	if out.BinRestoreSec > 0 {
+		out.RestoreSpeedup = out.JSONRestoreSec / out.BinRestoreSec
+	}
+	return out, nil
+}
+
+// runE19 prints the codec comparison at a suite-sized sketch scale;
+// ldpbench -codec re-runs Codec at deployment scale (2^16 cells ×
+// 2^10 rows by default) for the recorded BENCH numbers.
+func runE19(w io.Writer, cfg Config) error {
+	sum, err := Codec(cfg, 4096, 64)
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "task\tmechanism\tjson B/report\tbinary B/report\tratio")
+	for _, r := range sum.Reports {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.2fx\n", r.Task, r.Mechanism, r.JSONBytes, r.BinBytes, r.Ratio)
+	}
+	s := sum.Snapshot
+	fmt.Fprintf(tw, "snapshot\tCMS %dx%d\t%d B\t%d B\t%.2fx\n", s.Width, s.Hashes, s.JSONBytes, s.BinBytes, s.SizeRatio)
+	fmt.Fprintf(tw, "restore\tCMS %dx%d\t%.4fs\t%.4fs\t%.2fx\n", s.Width, s.Hashes, s.JSONRestoreSec, s.BinRestoreSec, s.RestoreSpeedup)
+	return tw.Flush()
+}

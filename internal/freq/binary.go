@@ -1,0 +1,291 @@
+// Binary state codecs for the frequency oracles. Each mechanism's
+// binary layout carries exactly the fields of its JSON state struct —
+// a leading format-version byte, the mechanism name, the debiasing
+// parameters, the report count, and the tally vector (varint-packed
+// for integer tallies, raw 8-byte words for float sums) — and both
+// codecs feed the same applyState validation, so a state restored
+// from either encoding is bit-identical to the other.
+package freq
+
+import (
+	"repro/internal/binenc"
+)
+
+// BinaryStater is the binary-codec capability of an Oracle, mirroring
+// task.BinaryStater one layer down: the task adapter wrapping an
+// oracle asserts for it and falls back to JSON when the wrapped
+// mechanism predates the binary layouts.
+type BinaryStater interface {
+	MarshalStateBinary() ([]byte, error)
+	UnmarshalStateBinary(data []byte) error
+}
+
+// binaryStateVersion tags the current binary state layouts. It is the
+// first byte of every payload and is checked before anything else is
+// read, mirroring the JSON states' "v" field.
+const binaryStateVersion = 0
+
+// readBinaryStateVersion consumes and checks the leading version tag.
+func readBinaryStateVersion(name string, r *binenc.Reader) error {
+	version := int(r.Byte())
+	if err := r.Err(); err != nil {
+		return stateDecodeError(name, err)
+	}
+	return checkStateVersion(name, version)
+}
+
+// --- GRR (and BinaryRR) ---
+
+// MarshalStateBinary implements BinaryStater.
+func (g *GRR) MarshalStateBinary() ([]byte, error) { return g.marshalStateBinaryAs(g.Name()) }
+
+// UnmarshalStateBinary implements BinaryStater.
+func (g *GRR) UnmarshalStateBinary(data []byte) error {
+	return g.unmarshalStateBinaryAs(g.Name(), data)
+}
+
+func (g *GRR) marshalStateBinaryAs(name string) ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(name)
+	w.Float64(g.epsilon)
+	w.Varint(int64(g.d))
+	w.Varint(int64(g.n))
+	w.Ints(g.counts)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+func (g *GRR) unmarshalStateBinaryAs(name string, data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(name, r); err != nil {
+		return err
+	}
+	var st grrState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.N = int(r.Varint())
+	st.Counts = r.Ints()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(name, err)
+	}
+	return g.applyState(name, st)
+}
+
+// MarshalStateBinary implements BinaryStater, writing the wrapper's
+// "RR" name like MarshalState does.
+func (b BinaryRR) MarshalStateBinary() ([]byte, error) { return b.GRR.marshalStateBinaryAs(b.Name()) }
+
+// UnmarshalStateBinary implements BinaryStater.
+func (b BinaryRR) UnmarshalStateBinary(data []byte) error {
+	return b.GRR.unmarshalStateBinaryAs(b.Name(), data)
+}
+
+// --- UE (SUE/OUE/custom) ---
+
+// MarshalStateBinary implements BinaryStater.
+func (u *UE) MarshalStateBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(u.name)
+	w.Float64(u.epsilon)
+	w.Varint(int64(u.d))
+	w.Float64(u.p)
+	w.Float64(u.q)
+	w.Varint(int64(u.n))
+	w.Ints(u.ones)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// UnmarshalStateBinary implements BinaryStater.
+func (u *UE) UnmarshalStateBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(u.name, r); err != nil {
+		return err
+	}
+	var st ueState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.P = r.Float64()
+	st.Q = r.Float64()
+	st.N = int(r.Varint())
+	st.Ones = r.Ints()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(u.name, err)
+	}
+	return u.applyState(st)
+}
+
+// --- SHE ---
+
+// MarshalStateBinary implements BinaryStater.
+func (s *SHE) MarshalStateBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(s.Name())
+	w.Float64(s.epsilon)
+	w.Varint(int64(s.d))
+	w.Varint(int64(s.n))
+	w.PackedFloat64s(s.sums)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// UnmarshalStateBinary implements BinaryStater.
+func (s *SHE) UnmarshalStateBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(s.Name(), r); err != nil {
+		return err
+	}
+	var st sheState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.N = int(r.Varint())
+	st.Sums = r.PackedFloat64s()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(s.Name(), err)
+	}
+	return s.applyState(st)
+}
+
+// --- THE ---
+
+// MarshalStateBinary implements BinaryStater.
+func (t *THE) MarshalStateBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(t.Name())
+	w.Float64(t.epsilon)
+	w.Varint(int64(t.d))
+	w.Float64(t.theta)
+	w.Varint(int64(t.n))
+	w.Ints(t.ones)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// UnmarshalStateBinary implements BinaryStater.
+func (t *THE) UnmarshalStateBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(t.Name(), r); err != nil {
+		return err
+	}
+	var st theState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.Theta = r.Float64()
+	st.N = int(r.Varint())
+	st.Ones = r.Ints()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(t.Name(), err)
+	}
+	return t.applyState(st)
+}
+
+// --- LH (BLH/OLH/custom) ---
+
+// MarshalStateBinary implements BinaryStater.
+func (l *LH) MarshalStateBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(l.name)
+	w.Float64(l.epsilon)
+	w.Varint(int64(l.d))
+	w.Varint(int64(l.g))
+	w.Varint(int64(l.n))
+	w.PackedFloat64s(l.support)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// UnmarshalStateBinary implements BinaryStater.
+func (l *LH) UnmarshalStateBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(l.name, r); err != nil {
+		return err
+	}
+	var st lhState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.G = int(r.Varint())
+	st.N = int(r.Varint())
+	st.Support = r.PackedFloat64s()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(l.name, err)
+	}
+	return l.applyState(st)
+}
+
+// --- HRR ---
+
+// MarshalStateBinary implements BinaryStater.
+func (h *HRR) MarshalStateBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(h.Name())
+	w.Float64(h.epsilon)
+	w.Varint(int64(h.d))
+	w.Varint(int64(h.n))
+	w.PackedFloat64s(h.coefSum)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// UnmarshalStateBinary implements BinaryStater.
+func (h *HRR) UnmarshalStateBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(h.Name(), r); err != nil {
+		return err
+	}
+	var st hrrState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.N = int(r.Varint())
+	st.CoefSum = r.PackedFloat64s()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(h.Name(), err)
+	}
+	return h.applyState(st)
+}
+
+// --- SS ---
+
+// MarshalStateBinary implements BinaryStater.
+func (s *SS) MarshalStateBinary() ([]byte, error) {
+	w := binenc.NewWriter()
+	defer w.Release()
+	w.Byte(binaryStateVersion)
+	w.String(s.Name())
+	w.Float64(s.epsilon)
+	w.Varint(int64(s.d))
+	w.Varint(int64(s.k))
+	w.Varint(int64(s.n))
+	w.Ints(s.support)
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// UnmarshalStateBinary implements BinaryStater.
+func (s *SS) UnmarshalStateBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := readBinaryStateVersion(s.Name(), r); err != nil {
+		return err
+	}
+	var st ssState
+	st.Mechanism = r.String()
+	st.Epsilon = r.Float64()
+	st.Domain = int(r.Varint())
+	st.K = int(r.Varint())
+	st.N = int(r.Varint())
+	st.Support = r.Ints()
+	if err := r.Done(); err != nil {
+		return stateDecodeError(s.Name(), err)
+	}
+	return s.applyState(st)
+}

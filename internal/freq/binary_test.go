@@ -1,0 +1,166 @@
+package freq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ldprand"
+)
+
+// binaryOracles builds one oracle of every mechanism, fed with a
+// deterministic report stream so the states are non-trivial.
+func binaryOracles(t *testing.T, fill int) []Oracle {
+	t.Helper()
+	const d = 37
+	var out []Oracle
+	for _, m := range Mechanisms() {
+		src := ldprand.NewSplitMix64(0xC0FFEE ^ uint64(len(out)))
+		o := m.Build(Config{Epsilon: 1.25, Domain: d, Source: src})
+		for i := 0; i < fill; i++ {
+			o.Collect(i % d)
+		}
+		out = append(out, o)
+	}
+	src := ldprand.NewSplitMix64(0xBEEF)
+	rr := NewBinaryRR(1.25, src)
+	for i := 0; i < fill; i++ {
+		rr.Collect(i % 2)
+	}
+	out = append(out, rr)
+	return out
+}
+
+// sameCounts compares two estimate vectors bit for bit.
+func sameCounts(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBinaryStateRoundTrip checks that for every mechanism, JSON →
+// restore and binary → restore produce bit-identical estimates, and
+// that a binary ⟷ JSON re-encode is a fixed point.
+func TestBinaryStateRoundTrip(t *testing.T) {
+	for _, o := range binaryOracles(t, 500) {
+		bs, ok := o.(BinaryStater)
+		if !ok {
+			t.Fatalf("%s (%T) does not implement BinaryStater", o.Name(), o)
+		}
+		want := o.EstimateCounts()
+		js, err := o.MarshalState()
+		if err != nil {
+			t.Fatalf("%s: MarshalState: %v", o.Name(), err)
+		}
+		bin, err := bs.MarshalStateBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalStateBinary: %v", o.Name(), err)
+		}
+		if len(bin) >= len(js) {
+			t.Errorf("%s: binary state %dB not smaller than JSON %dB", o.Name(), len(bin), len(js))
+		}
+
+		// Binary restore onto a fresh oracle of the same configuration.
+		fresh := freshLike(t, o)
+		if err := fresh.(BinaryStater).UnmarshalStateBinary(bin); err != nil {
+			t.Fatalf("%s: UnmarshalStateBinary: %v", o.Name(), err)
+		}
+		if !sameCounts(want, fresh.EstimateCounts()) {
+			t.Errorf("%s: binary restore diverged from source estimates", o.Name())
+		}
+		if fresh.Collected() != o.Collected() {
+			t.Errorf("%s: binary restore Collected = %d, want %d", o.Name(), fresh.Collected(), o.Collected())
+		}
+
+		// Fixed point: binary-restored state re-marshals to the same
+		// JSON and the same binary as the original.
+		js2, err := fresh.MarshalState()
+		if err != nil {
+			t.Fatalf("%s: re-MarshalState: %v", o.Name(), err)
+		}
+		if string(js2) != string(js) {
+			t.Errorf("%s: binary→JSON re-encode not a fixed point", o.Name())
+		}
+		bin2, err := fresh.(BinaryStater).MarshalStateBinary()
+		if err != nil {
+			t.Fatalf("%s: re-MarshalStateBinary: %v", o.Name(), err)
+		}
+		if string(bin2) != string(bin) {
+			t.Errorf("%s: binary re-encode not a fixed point", o.Name())
+		}
+
+		// JSON restore must agree with the binary restore.
+		fresh2 := freshLike(t, o)
+		if err := fresh2.UnmarshalState(js); err != nil {
+			t.Fatalf("%s: UnmarshalState: %v", o.Name(), err)
+		}
+		if !sameCounts(want, fresh2.EstimateCounts()) {
+			t.Errorf("%s: JSON restore diverged from source estimates", o.Name())
+		}
+	}
+}
+
+// freshLike builds an empty oracle with the same mechanism and
+// parameters as o.
+func freshLike(t *testing.T, o Oracle) Oracle {
+	t.Helper()
+	if rr, ok := o.(BinaryRR); ok {
+		return NewBinaryRR(rr.Epsilon(), nil)
+	}
+	for _, m := range Mechanisms() {
+		if m.Name == o.Name() {
+			return m.Build(Config{Epsilon: o.Epsilon(), Domain: o.Domain()})
+		}
+	}
+	t.Fatalf("no builder for %s", o.Name())
+	return nil
+}
+
+// TestBinaryStateRefusesGarbage checks that truncated, bit-flipped and
+// cross-mechanism payloads are refused without panicking, and that the
+// receiver keeps its state.
+func TestBinaryStateRefusesGarbage(t *testing.T) {
+	oracles := binaryOracles(t, 100)
+	for _, o := range oracles {
+		bs := o.(BinaryStater)
+		bin, err := bs.MarshalStateBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalStateBinary: %v", o.Name(), err)
+		}
+		want := o.EstimateCounts()
+
+		// Every truncation must be refused.
+		for cut := 0; cut < len(bin); cut += 1 + len(bin)/64 {
+			if err := bs.UnmarshalStateBinary(bin[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d accepted", o.Name(), cut)
+			}
+		}
+		// An unknown version tag must be refused before the payload is
+		// read.
+		bad := append([]byte(nil), bin...)
+		bad[0] = 99
+		if err := bs.UnmarshalStateBinary(bad); err == nil {
+			t.Errorf("%s: future version accepted", o.Name())
+		}
+		if !sameCounts(want, o.EstimateCounts()) {
+			t.Errorf("%s: failed restore mutated the receiver", o.Name())
+		}
+	}
+	// Cross-mechanism restore: every payload into every other oracle.
+	for _, src := range oracles {
+		bin, _ := src.(BinaryStater).MarshalStateBinary()
+		for _, dst := range oracles {
+			if dst.Name() == src.Name() {
+				continue
+			}
+			if err := dst.(BinaryStater).UnmarshalStateBinary(bin); err == nil {
+				t.Errorf("%s state accepted by %s", src.Name(), dst.Name())
+			}
+		}
+	}
+}

@@ -162,6 +162,13 @@ func (g *GRR) unmarshalStateAs(name string, data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(name, err)
 	}
+	return g.applyState(name, st)
+}
+
+// applyState validates a decoded state (from either codec — the JSON
+// and binary decoders feed the same struct through this one path, so
+// both restore with identical semantics) and installs it.
+func (g *GRR) applyState(name string, st grrState) error {
 	if err := checkStateVersion(name, st.V); err != nil {
 		return err
 	}

@@ -145,6 +145,12 @@ func (s *SHE) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(s.Name(), err)
 	}
+	return s.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (s *SHE) applyState(st sheState) error {
 	if err := checkStateVersion(s.Name(), st.V); err != nil {
 		return err
 	}
@@ -359,6 +365,12 @@ func (t *THE) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(t.Name(), err)
 	}
+	return t.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (t *THE) applyState(st theState) error {
 	if err := checkStateVersion(t.Name(), st.V); err != nil {
 		return err
 	}

@@ -179,6 +179,12 @@ func (h *HRR) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(h.Name(), err)
 	}
+	return h.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (h *HRR) applyState(st hrrState) error {
 	if err := checkStateVersion(h.Name(), st.V); err != nil {
 		return err
 	}

@@ -212,6 +212,12 @@ func (l *LH) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(l.name, err)
 	}
+	return l.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (l *LH) applyState(st lhState) error {
 	if err := checkStateVersion(l.name, st.V); err != nil {
 		return err
 	}

@@ -209,6 +209,12 @@ func (s *SS) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(s.Name(), err)
 	}
+	return s.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (s *SS) applyState(st ssState) error {
 	if err := checkStateVersion(s.Name(), st.V); err != nil {
 		return err
 	}

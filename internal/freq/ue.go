@@ -197,6 +197,12 @@ func (u *UE) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return stateDecodeError(u.name, err)
 	}
+	return u.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (u *UE) applyState(st ueState) error {
 	if err := checkStateVersion(u.name, st.V); err != nil {
 		return err
 	}

@@ -56,6 +56,12 @@ func (d *Duchi) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("mean: Duchi state: %w", err)
 	}
+	return d.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (d *Duchi) applyState(st duchiState) error {
 	if st.V != 0 {
 		return fmt.Errorf("mean: Duchi state: unsupported state version %d", st.V)
 	}
@@ -129,6 +135,12 @@ func (h *Harmony) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("mean: Harmony state: %w", err)
 	}
+	return h.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (h *Harmony) applyState(st harmonyState) error {
 	if st.V != 0 {
 		return fmt.Errorf("mean: Harmony state: unsupported state version %d", st.V)
 	}

@@ -62,6 +62,12 @@ func (c *CountMin) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("sketch: count-min state: %w", err)
 	}
+	return c.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (c *CountMin) applyState(st countMinState) error {
 	if st.V != 0 {
 		return fmt.Errorf("sketch: count-min state: unsupported state version %d", st.V)
 	}
@@ -129,6 +135,12 @@ func (c *CountSketch) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("sketch: count sketch state: %w", err)
 	}
+	return c.applyState(st)
+}
+
+// applyState validates a decoded state (shared by the JSON and binary
+// codecs) and installs it.
+func (c *CountSketch) applyState(st countSketchState) error {
 	if st.V != 0 {
 		return fmt.Errorf("sketch: count sketch state: unsupported state version %d", st.V)
 	}

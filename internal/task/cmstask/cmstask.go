@@ -125,31 +125,46 @@ func (a *Aggregator) Prepare(report json.RawMessage) (any, error) {
 	if e.Mechanism != a.mechanism {
 		return nil, fmt.Errorf("cmstask: envelope mechanism %q does not match aggregator %q", e.Mechanism, a.mechanism)
 	}
-	if e.Row < 0 || e.Row >= a.params.Hashes {
-		return nil, fmt.Errorf("cmstask: row %d out of range [0,%d)", e.Row, a.params.Hashes)
-	}
 	if a.mechanism == MechanismCMS {
 		bits, err := base64.StdEncoding.DecodeString(e.Bits)
 		if err != nil {
 			return nil, fmt.Errorf("cmstask: bad bits encoding: %w", err)
 		}
-		if len(bits) != a.params.Width {
-			return nil, fmt.Errorf("cmstask: report width %d, want %d", len(bits), a.params.Width)
+		return a.prepareCMSReport(e.Row, bits)
+	}
+	return a.prepareHCMSReport(e.Row, e.Index, e.Sign)
+}
+
+// prepareCMSReport validates one decoded CMS row report; the JSON and
+// binary wire decoders both feed it.
+func (a *Aggregator) prepareCMSReport(row int, bits []byte) (any, error) {
+	if row < 0 || row >= a.params.Hashes {
+		return nil, fmt.Errorf("cmstask: row %d out of range [0,%d)", row, a.params.Hashes)
+	}
+	if len(bits) != a.params.Width {
+		return nil, fmt.Errorf("cmstask: report width %d, want %d", len(bits), a.params.Width)
+	}
+	for i, b := range bits {
+		if b != 0 && b != 1 {
+			return nil, fmt.Errorf("cmstask: report bit %d has value %d, want 0 or 1", i, b)
 		}
-		for i, b := range bits {
-			if b != 0 && b != 1 {
-				return nil, fmt.Errorf("cmstask: report bit %d has value %d, want 0 or 1", i, b)
-			}
-		}
-		return preparedCMS{row: e.Row, bits: bits}, nil
 	}
-	if e.Index < 0 || e.Index >= a.params.Width {
-		return nil, fmt.Errorf("cmstask: index %d out of range [0,%d)", e.Index, a.params.Width)
+	return preparedCMS{row: row, bits: bits}, nil
+}
+
+// prepareHCMSReport validates one decoded HCMS coefficient report; the
+// JSON and binary wire decoders both feed it.
+func (a *Aggregator) prepareHCMSReport(row, index int, sign int8) (any, error) {
+	if row < 0 || row >= a.params.Hashes {
+		return nil, fmt.Errorf("cmstask: row %d out of range [0,%d)", row, a.params.Hashes)
 	}
-	if e.Sign != 1 && e.Sign != -1 {
-		return nil, fmt.Errorf("cmstask: sign must be ±1, got %d", e.Sign)
+	if index < 0 || index >= a.params.Width {
+		return nil, fmt.Errorf("cmstask: index %d out of range [0,%d)", index, a.params.Width)
 	}
-	return preparedHCMS{row: e.Row, index: e.Index, sign: e.Sign}, nil
+	if sign != 1 && sign != -1 {
+		return nil, fmt.Errorf("cmstask: sign must be ±1, got %d", sign)
+	}
+	return preparedHCMS{row: row, index: index, sign: sign}, nil
 }
 
 // Fold accumulates a Prepared report (task.Preparer): every coordinate

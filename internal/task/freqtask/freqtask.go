@@ -282,14 +282,7 @@ func decodeBits(s string, wantLen int) (*bitvec.Vector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("freqtask: bad bits encoding: %w", err)
 	}
-	var v bitvec.Vector
-	if err := v.UnmarshalBinary(raw); err != nil {
-		return nil, err
-	}
-	if v.Len() != wantLen {
-		return nil, fmt.Errorf("freqtask: bit vector length %d, want %d", v.Len(), wantLen)
-	}
-	return &v, nil
+	return decodeBitsRaw(raw, wantLen)
 }
 
 // Aggregator adapts one frequency oracle to task.Aggregator.

@@ -536,6 +536,13 @@ func (a *Aggregator) UnmarshalState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("hhtask: bad state: %w", err)
 	}
+	return a.applyState(st)
+}
+
+// applyState validates a decoded state (from either codec — the JSON
+// and binary decoders feed this one path, so both restore with
+// identical semantics) and installs it.
+func (a *Aggregator) applyState(st state) error {
 	if st.V != 0 && st.V != stateVersionSums {
 		return fmt.Errorf("hhtask: state version %d not supported (have legacy and %d)", st.V, stateVersionSums)
 	}

@@ -115,6 +115,13 @@ func (a *Aggregator) Prepare(report json.RawMessage) (any, error) {
 	if err := json.Unmarshal(report, &e); err != nil {
 		return nil, fmt.Errorf("meantask: bad envelope: %w", err)
 	}
+	return a.prepareEnvelope(e)
+}
+
+// prepareEnvelope validates a decoded envelope against the mechanism's
+// immutable configuration; the JSON and binary wire decoders both feed
+// it, so the two wire forms accept identical report populations.
+func (a *Aggregator) prepareEnvelope(e Envelope) (any, error) {
 	if e.Mechanism != a.mechanism {
 		return nil, fmt.Errorf("meantask: envelope mechanism %q does not match aggregator %q", e.Mechanism, a.mechanism)
 	}
@@ -293,20 +300,27 @@ func (c *Client) Dim() int { return c.dim }
 
 // Report privatizes one record into a wire envelope.
 func (c *Client) Report(x []float64) (json.RawMessage, error) {
+	e, err := c.envelope(x)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(e)
+}
+
+// envelope privatizes one record into the envelope both wire codecs
+// serialize.
+func (c *Client) envelope(x []float64) (Envelope, error) {
 	if len(x) != c.dim {
-		return nil, fmt.Errorf("meantask: record has %d values, want %d", len(x), c.dim)
+		return Envelope{}, fmt.Errorf("meantask: record has %d values, want %d", len(x), c.dim)
 	}
 	for _, v := range x {
 		if math.IsNaN(v) {
-			return nil, fmt.Errorf("meantask: record value is NaN")
+			return Envelope{}, fmt.Errorf("meantask: record value is NaN")
 		}
 	}
-	var e Envelope
 	if c.duchi != nil {
-		e = Envelope{Mechanism: MechanismDuchi, Value: c.duchi.Privatize(x[0])}
-	} else {
-		r := c.harmony.Privatize(x)
-		e = Envelope{Mechanism: MechanismHarmony, Coord: r.Coord, Value: r.Value}
+		return Envelope{Mechanism: MechanismDuchi, Value: c.duchi.Privatize(x[0])}, nil
 	}
-	return json.Marshal(e)
+	r := c.harmony.Privatize(x)
+	return Envelope{Mechanism: MechanismHarmony, Coord: r.Coord, Value: r.Value}, nil
 }

@@ -136,6 +136,48 @@ type Preparer interface {
 	Fold(prepared any) error
 }
 
+// ErrBinaryUnsupported marks an aggregator (or the mechanism inside
+// it) that has no binary codec for the requested operation. Callers
+// that detect BinaryStater or BinaryReporter structurally must still
+// handle this error by falling back to JSON: an adapter family may
+// implement the interface while a particular wrapped mechanism does
+// not.
+var ErrBinaryUnsupported = errors.New("task: binary encoding not supported")
+
+// BinaryStater is an optional Aggregator capability: a compact binary
+// codec for the aggregate state, alongside the JSON MarshalState /
+// UnmarshalState pair every Aggregator carries. The two codecs must be
+// interchangeable — UnmarshalStateBinary(MarshalStateBinary()) and
+// UnmarshalState(MarshalState()) restore bit-identical estimates and
+// frontiers — so a checkpoint may be written in either encoding and
+// restored by either path.
+//
+// Layouts are versioned like the JSON states: the first payload byte
+// is a format version tag, checked before anything else is read, and
+// unknown versions are refused loudly. Malformed input (truncated,
+// bit-flipped, length-lying) must return an error, never panic or
+// over-allocate. MarshalStateBinary returns ErrBinaryUnsupported when
+// the concrete mechanism has no binary layout; the caller falls back
+// to the JSON codec.
+type BinaryStater interface {
+	MarshalStateBinary() ([]byte, error)
+	UnmarshalStateBinary(data []byte) error
+}
+
+// BinaryReporter is an optional Aggregator capability extending
+// Preparer to the binary wire encoding: PrepareBinary parses and
+// validates one binary report payload into the same fold-ready values
+// Prepare produces, under the same contract (immutable configuration
+// only, safe without synchronization, Fold accepts the result).
+// Aggregators implement it only when every report their configuration
+// accepts has a binary layout; the sharding layer detects the
+// capability structurally and advertises the binary content type for
+// the collection.
+type BinaryReporter interface {
+	Preparer
+	PrepareBinary(payload []byte) (any, error)
+}
+
 // Factory builds an empty Aggregator from a configuration, validating
 // it (a factory error is a caller/config error, never a panic).
 type Factory func(cfg Config) (Aggregator, error)
