@@ -16,6 +16,10 @@
 // -codec-width × -codec-hashes sketch scale) and embeds the figures
 // in the -json summary under "codec".
 //
+// With -relay the run also measures relay fan-in throughput (the E20
+// topology at each -relays count, -relay-batch reports per batch) and
+// embeds the figures in the -json summary under "relay".
+//
 // With -json PATH the run additionally writes a machine-readable
 // summary (configuration plus experiment id → wall-clock seconds), the
 // format of the repository's BENCH_*.json perf-trajectory files: each
@@ -50,6 +54,7 @@ type benchSummary struct {
 	Seed    uint64                    `json:"seed"`
 	Results []benchResult             `json:"results"`
 	Codec   *experiments.CodecSummary `json:"codec,omitempty"`
+	Relay   *experiments.RelaySummary `json:"relay,omitempty"`
 }
 
 func main() {
@@ -63,6 +68,9 @@ func main() {
 		codec    = flag.Bool("codec", false, "measure JSON vs binary codec cost and add it to -json output")
 		codecW   = flag.Int("codec-width", 1<<16, "sketch cells per row for the -codec snapshot measurement")
 		codecH   = flag.Int("codec-hashes", 1<<10, "sketch rows for the -codec snapshot measurement")
+		relay    = flag.Bool("relay", false, "measure relay fan-in throughput vs single node and add it to -json output")
+		relays   = flag.String("relays", "2,4", "comma-separated relay counts for the -relay measurement")
+		relayB   = flag.Int("relay-batch", 100, "reports per batch for the -relay measurement")
 	)
 	flag.Parse()
 
@@ -122,6 +130,28 @@ func main() {
 		fmt.Printf("codec: CMS %dx%d snapshot %d B json / %d B binary (%.2fx), restore %.3fs json / %.3fs binary (%.2fx), measured in %.1fs\n",
 			s.Width, s.Hashes, s.JSONBytes, s.BinBytes, s.SizeRatio,
 			s.JSONRestoreSec, s.BinRestoreSec, s.RestoreSpeedup, time.Since(start).Seconds())
+	}
+
+	if *relay {
+		var counts []int
+		for _, s := range strings.Split(*relays, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "ldpbench: bad -relays entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		rs, err := experiments.RelayFanIn(cfg, counts, *relayB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldpbench: relay:", err)
+			os.Exit(1)
+		}
+		summary.Relay = &rs
+		for _, top := range rs.Topologies {
+			fmt.Printf("relay: %d relays %.0f reports/s vs single %.0f reports/s (%.2fx, exact)\n",
+				top.Relays, top.ReportsPerSec, float64(rs.Users)/rs.SingleSeconds, top.Speedup)
+		}
 	}
 
 	if *jsonPath != "" {

@@ -121,7 +121,8 @@ func (wc wireCodec) encodeBatch(batch []json.RawMessage) ([]byte, error) {
 
 func main() {
 	var (
-		server     = flag.String("server", "http://localhost:8080", "ldpd base URL")
+		server     = flag.String("server", "http://localhost:8080", "ldpd base URL, or a comma-separated list of relay URLs to round-robin batches across")
+		addr       = flag.String("addr", "", "alias for -server (takes precedence when set): comma-separated ldpd/relay base URLs")
 		collection = flag.String("collection", "", "target collection (empty = the server's default collection via the flat routes)")
 		taskName   = flag.String("task", task.TypeFreq, "task family: freq, mean, sketch")
 		mechanism  = flag.String("mechanism", "", "mechanism within the task family (default: OLH / duchi / CMS per task)")
@@ -160,16 +161,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ldpclient: unknown -encoding %q (have json, binary)\n", *encoding)
 		os.Exit(2)
 	}
-	base := strings.TrimSuffix(*server, "/")
-	if *collection != "" {
-		base += "/collections/" + url.PathEscape(*collection)
+	list := *server
+	if *addr != "" {
+		list = *addr
 	}
+	var targets []string
+	for _, t := range strings.Split(list, ",") {
+		t = strings.TrimSuffix(strings.TrimSpace(t), "/")
+		if t == "" {
+			continue
+		}
+		if *collection != "" {
+			t += "/collections/" + url.PathEscape(*collection)
+		}
+		targets = append(targets, t)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "ldpclient: -server/-addr names no targets")
+		os.Exit(2)
+	}
+	ring := &targetRing{targets: targets}
 	httpClient := &http.Client{Timeout: *timeout}
 
 	if *taskName == task.TypeHH {
 		// The hh protocol is round-structured, not line-streamed: it
 		// has its own driver.
-		if err := runHH(httpClient, base, *batch, *retries, *hhAdvance); err != nil {
+		if err := runHH(httpClient, ring, *batch, *retries, *hhAdvance); err != nil {
 			fmt.Fprintln(os.Stderr, "ldpclient:", err)
 			os.Exit(1)
 		}
@@ -195,7 +212,7 @@ func main() {
 		if len(pending) == 0 {
 			return
 		}
-		n, err := postBatch(httpClient, base, codec, pending, *retries)
+		n, err := postBatch(httpClient, ring.pick(), codec, pending, *retries)
 		sent += n
 		failed += len(pending) - n
 		if err != nil {
@@ -222,7 +239,7 @@ func main() {
 				// A single-envelope batch rides the idempotent route, so
 				// a lost acknowledgment can be retried without the risk
 				// of double-counting the report.
-				n, err := postBatch(httpClient, base, codec, []json.RawMessage{env}, *retries)
+				n, err := postBatch(httpClient, ring.pick(), codec, []json.RawMessage{env}, *retries)
 				sent += n
 				failed += 1 - n
 				if err != nil {
@@ -230,7 +247,7 @@ func main() {
 				}
 				continue
 			}
-			if err := post(httpClient, base+"/report", codec.contentType, env); err != nil {
+			if err := post(httpClient, ring.pick()+"/report", codec.contentType, env); err != nil {
 				fmt.Fprintf(os.Stderr, "ldpclient: %v\n", err)
 				failed++
 				continue
@@ -258,6 +275,27 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// targetRing rotates report batches across a fleet of relay (or
+// aggregator) base URLs. Control-plane calls — frontier fetches and
+// conditional advances — stick to the first target instead: in a relay
+// topology every relay mirrors the same upstream frontier, so one
+// consistent vantage point avoids chasing propagation skew between
+// relays mid-round.
+type targetRing struct {
+	targets []string
+	next    int
+}
+
+// pick returns the next target in rotation.
+func (t *targetRing) pick() string {
+	b := t.targets[t.next%len(t.targets)]
+	t.next++
+	return b
+}
+
+// first returns the stable control-plane target.
+func (t *targetRing) first() string { return t.targets[0] }
 
 // newPrivatizer builds the line → envelope function for the selected
 // task family, resolving the per-task default mechanism. With binary
@@ -345,7 +383,7 @@ func newPrivatizer(taskName, mechanism string, epsilon float64, domain, dim, wid
 // refetched before every round, the driver picks the protocol up
 // wherever the server stands — including a server that restarted from
 // a mid-protocol checkpoint.
-func runHH(c *http.Client, base string, batchSize, retries int, advance bool) error {
+func runHH(c *http.Client, ring *targetRing, batchSize, retries int, advance bool) error {
 	var values []uint64
 	scanner := bufio.NewScanner(os.Stdin)
 	for scanner.Scan() {
@@ -366,7 +404,7 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 		return fmt.Errorf("no values on stdin")
 	}
 
-	f, err := fetchFrontier(c, base)
+	f, err := fetchFrontier(c, ring.first())
 	if err != nil {
 		return err
 	}
@@ -385,7 +423,7 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 			if len(pending) == 0 {
 				return nil
 			}
-			got, err := postBatch(c, base, jsonCodec, pending, retries)
+			got, err := postBatch(c, ring.pick(), jsonCodec, pending, retries)
 			if errors.Is(err, errStaleRound) {
 				left := append(append([]uint64(nil), pendingUsers...), tail...)
 				fmt.Fprintf(os.Stderr, "ldpclient: round %d: %v; re-reporting %d users against the new round\n",
@@ -435,7 +473,7 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 		if carry = reportRound(reporter, group, prev); carry != nil {
 			// The round closed mid-upload; pick up the new round and
 			// fold the unspent users into its group.
-			if f, err = fetchFrontier(c, base); err != nil {
+			if f, err = fetchFrontier(c, ring.first()); err != nil {
 				return err
 			}
 			if !f.Done && f.Round == prev {
@@ -450,11 +488,11 @@ func runHH(c *http.Client, base string, batchSize, retries int, advance bool) er
 			// driver (or the server's quota) closed it first, the 409
 			// is success for our purposes — the frontier refetch below
 			// picks up the new round.
-			if err := postAdvance(c, base, prev); err != nil {
+			if err := postAdvance(c, ring.first(), prev); err != nil {
 				return fmt.Errorf("advance after round %d: %w", prev, err)
 			}
 		}
-		if f, err = fetchFrontier(c, base); err != nil {
+		if f, err = fetchFrontier(c, ring.first()); err != nil {
 			return err
 		}
 		if !f.Done && f.Round == prev {

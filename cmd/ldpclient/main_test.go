@@ -62,7 +62,7 @@ func TestRunHHCarriesUsersAcrossStaleRound(t *testing.T) {
 		}
 	}()
 
-	if err := runHH(ts.Client(), ts.URL+"/collections/words", 10, 1, true); err != nil {
+	if err := runHH(ts.Client(), &targetRing{targets: []string{ts.URL + "/collections/words"}}, 10, 1, true); err != nil {
 		t.Fatalf("runHH: %v", err)
 	}
 

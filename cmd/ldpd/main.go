@@ -38,10 +38,23 @@
 // per-collection checkpoint failures and journal lag, turning 503 once
 // -unhealthy-after consecutive checkpoints have failed.
 //
+// With -mode relay -upstream <url>, the process becomes a relay ingest
+// node: it accepts the ordinary report routes, folds into its own
+// sharded aggregator, and every -flush-interval cuts the accumulated
+// state into a merged delta it ships to the upstream aggregation node
+// over POST /collections/{name}/merge — durably (journal flush frames
+// + an on-disk outbox) and exactly-once (per-delta idempotency keys).
+// Collections are mirrored from the upstream; /estimate and /frontier
+// proxy upstream, /status and /healthz additionally report the relay's
+// flushing standing. N relays in front of one aggregation node scale
+// ingest horizontally without changing any client.
+//
 // Usage:
 //
 //	ldpd -addr :8080 -mechanism OLH -epsilon 1.0 -domain 128 -shards 0 \
 //	     -state-dir /var/lib/ldpd -checkpoint-interval 30s -journal-sync always
+//	ldpd -addr :8081 -mode relay -upstream http://agg:8080 \
+//	     -state-dir /var/lib/ldpd-relay -flush-interval 5s
 //
 // Report format (JSON), e.g. for GRR:
 //
@@ -67,10 +80,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fsio"
 
@@ -85,11 +100,14 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		mode        = flag.String("mode", "aggregate", "\"aggregate\" (terminal aggregation node) or \"relay\" (fold locally, flush merged deltas to -upstream)")
+		upstream    = flag.String("upstream", "", "relay mode: base URL of the upstream aggregation node (e.g. http://agg:8080)")
+		flushEvery  = flag.Duration("flush-interval", cluster.DefaultFlushInterval, "relay mode: how often to flush merged deltas upstream")
 		mechanism   = flag.String("mechanism", core.MechanismOLH, "default collection's frequency oracle: "+strings.Join(core.Mechanisms(), ", "))
 		epsilon     = flag.Float64("epsilon", 1.0, "default collection's privacy budget per report")
 		domain      = flag.Int("domain", 128, "default collection's input domain size")
 		shards      = flag.Int("shards", 0, "aggregation shards per collection (0 = one per core)")
-		stateDir    = flag.String("state-dir", "", "directory for per-collection snapshots (empty = memory only)")
+		stateDir    = flag.String("state-dir", "", "directory for per-collection snapshots (empty = memory only; required in relay mode)")
 		checkpoint  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint collections to -state-dir")
 		journalSync = flag.String("journal-sync", core.JournalSyncEvery, "write-ahead journal fsync policy: \"always\" (acknowledged reports survive power loss) or \"none\" (page-cache durability only)")
 		unhealthy   = flag.Int("unhealthy-after", core.DefaultUnhealthyAfter, "consecutive checkpoint failures per collection before GET /healthz answers 503")
@@ -99,13 +117,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ldpd: -journal-sync must be %q or %q, got %q\n", core.JournalSyncEvery, core.JournalSyncNone, *journalSync)
 		os.Exit(2)
 	}
-	if err := run(*addr, *mechanism, *epsilon, *domain, *shards, *stateDir, *checkpoint, *journalSync, *unhealthy); err != nil {
+	switch *mode {
+	case "aggregate":
+		if *upstream != "" {
+			fmt.Fprintln(os.Stderr, "ldpd: -upstream is only meaningful with -mode relay")
+			os.Exit(2)
+		}
+	case "relay":
+		if *upstream == "" {
+			fmt.Fprintln(os.Stderr, "ldpd: -mode relay requires -upstream")
+			os.Exit(2)
+		}
+		if *stateDir == "" {
+			// The relay's exactly-once story is journal + outbox; without
+			// a state dir there is nowhere durable for either.
+			fmt.Fprintln(os.Stderr, "ldpd: -mode relay requires -state-dir")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ldpd: -mode must be \"aggregate\" or \"relay\", got %q\n", *mode)
+		os.Exit(2)
+	}
+	if err := run(*addr, *mode, *upstream, *flushEvery, *mechanism, *epsilon, *domain, *shards, *stateDir, *checkpoint, *journalSync, *unhealthy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir string, checkpointEvery time.Duration, journalSync string, unhealthyAfter int) error {
+func run(addr, mode, upstream string, flushEvery time.Duration, mechanism string, epsilon float64, domain, shards int, stateDir string, checkpointEvery time.Duration, journalSync string, unhealthyAfter int) error {
+	relayMode := mode == "relay"
+	var outbox *cluster.Outbox
 	reg := core.NewCollectionRegistry()
 	var store *core.Store
 	if stateDir != "" {
@@ -113,6 +154,16 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 		store, err = core.NewStoreFS(stateDir, fsio.OS, journalSync)
 		if err != nil {
 			return err
+		}
+		if relayMode {
+			// The outbox and its flush sink must exist before Load: the
+			// journal may hold relay flush frames whose replay re-cuts
+			// deltas straight into the outbox.
+			outbox, err = cluster.NewOutbox(fsio.OS, filepath.Join(stateDir, "outbox"))
+			if err != nil {
+				return err
+			}
+			store.SetFlushSink(cluster.FlushSink(outbox))
 		}
 		restored, err := store.Load(reg)
 		if err != nil {
@@ -124,39 +175,55 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 		}
 	}
 
-	defaultCfg := core.FreqCollectionConfig(mechanism, core.PrivacyParams{Epsilon: epsilon, Domain: domain}, shards)
-	def, ok := reg.Get(core.DefaultCollection)
-	if ok {
-		// A restored snapshot wins over the flags: silently rebuilding
-		// the default collection with different parameters would orphan
-		// its persisted counts.
-		if def.Config() != defaultCfg {
-			log.Printf("ldpd: default collection restored as %+v; flags %+v ignored", def.Config(), defaultCfg)
-		}
-	} else {
-		var err error
-		if def, err = reg.Create(core.DefaultCollection, defaultCfg); err != nil {
-			return err
-		}
-		if store != nil {
-			// A fresh default collection gets its journal and an
-			// immediate snapshot, so its configuration (and everything
-			// acknowledged before the first checkpoint tick) survives a
-			// crash from the very first report on.
-			if err := store.Attach(def); err != nil {
-				return fmt.Errorf("ldpd: journal for default collection: %w", err)
+	var def *core.Collection
+	if !relayMode {
+		defaultCfg := core.FreqCollectionConfig(mechanism, core.PrivacyParams{Epsilon: epsilon, Domain: domain}, shards)
+		var ok bool
+		def, ok = reg.Get(core.DefaultCollection)
+		if ok {
+			// A restored snapshot wins over the flags: silently rebuilding
+			// the default collection with different parameters would orphan
+			// its persisted counts.
+			if def.Config() != defaultCfg {
+				log.Printf("ldpd: default collection restored as %+v; flags %+v ignored", def.Config(), defaultCfg)
 			}
-			if err := store.Save(reg, def); err != nil {
-				return fmt.Errorf("ldpd: initial checkpoint: %w", err)
+		} else {
+			var err error
+			if def, err = reg.Create(core.DefaultCollection, defaultCfg); err != nil {
+				return err
+			}
+			if store != nil {
+				// A fresh default collection gets its journal and an
+				// immediate snapshot, so its configuration (and everything
+				// acknowledged before the first checkpoint tick) survives a
+				// crash from the very first report on.
+				if err := store.Attach(def); err != nil {
+					return fmt.Errorf("ldpd: journal for default collection: %w", err)
+				}
+				if err := store.Save(reg, def); err != nil {
+					return fmt.Errorf("ldpd: initial checkpoint: %w", err)
+				}
 			}
 		}
 	}
 
 	svc := core.NewMultiService(reg, store)
 	svc.SetUnhealthyAfter(unhealthyAfter)
+	var relay *cluster.Relay
+	handler := http.Handler(nil)
+	if relayMode {
+		// Relay mode: no flag-built default collection — every
+		// collection (including "default") is mirrored from the
+		// upstream, so its configuration matches the aggregation node
+		// parameter for parameter and cut deltas merge exactly.
+		relay = cluster.NewRelay(svc, store, cluster.NewUpstream(upstream), outbox)
+		handler = relay.Handler()
+	} else {
+		handler = svc.Handler()
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -177,6 +244,10 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 		}
 	}
 
+	if relay != nil {
+		go relay.Run(ctx, flushEvery)
+	}
+
 	// Bind before announcing readiness, so a failed bind never logs a
 	// "listening" line that the operator (or a readiness probe) trusts.
 	ln, err := net.Listen("tcp", addr)
@@ -185,11 +256,15 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	// Report the effective configuration — the restored snapshot may
-	// have overridden the flags, and shards=0 resolves to GOMAXPROCS.
-	cfg := def.Config()
-	log.Printf("ldpd: default %s with ε=%g over domain %d (%d shards), listening on %s",
-		cfg.Mechanism, cfg.Epsilon, cfg.Domain, def.Aggregator().Shards(), ln.Addr())
+	if relayMode {
+		log.Printf("ldpd: relay for upstream %s (flush every %s), listening on %s", upstream, flushEvery, ln.Addr())
+	} else {
+		// Report the effective configuration — the restored snapshot may
+		// have overridden the flags, and shards=0 resolves to GOMAXPROCS.
+		cfg := def.Config()
+		log.Printf("ldpd: default %s with ε=%g over domain %d (%d shards), listening on %s",
+			cfg.Mechanism, cfg.Epsilon, cfg.Domain, def.Aggregator().Shards(), ln.Addr())
+	}
 
 	// Both exits — a signal and an accept-loop failure — converge on
 	// the same drain-then-flush sequence: even with the listener dead,
@@ -208,6 +283,16 @@ func run(addr, mechanism string, epsilon float64, domain, shards int, stateDir s
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("ldpd: shutdown: %v", err)
+	}
+	if relay != nil {
+		// With the listener drained, one final flush ships everything
+		// acknowledged; whatever cannot reach the upstream stays in the
+		// journal-backed outbox for the next start.
+		flushCtx, flushCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := relay.Flush(flushCtx); err != nil {
+			log.Printf("ldpd: final relay flush (deltas preserved in the outbox): %v", err)
+		}
+		flushCancel()
 	}
 	if store != nil {
 		if err := store.SaveAll(reg); err != nil {

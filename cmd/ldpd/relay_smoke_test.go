@@ -1,0 +1,376 @@
+package main
+
+// Multi-process relay smoke test: one upstream aggregator, two relays,
+// and a single-node reference server — four real ldpd processes — with
+// freq and hh collections driven through the relays, one relay
+// SIGKILLed mid-round and restarted, and the final upstream estimates
+// asserted equal to the single node that folded the identical seeded
+// envelopes. Gated behind LDP_RELAY_SMOKE=1: it builds the binary and
+// boots processes, which belongs in its own CI job, not in every
+// `go test ./...`.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ldprand"
+	"repro/internal/task"
+	"repro/internal/task/hhtask"
+)
+
+const smokeEnv = "LDP_RELAY_SMOKE"
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// smokeProc is one ldpd process under test.
+type smokeProc struct {
+	t    *testing.T
+	bin  string
+	args []string
+	url  string
+	cmd  *exec.Cmd
+}
+
+func (p *smokeProc) start() {
+	p.t.Helper()
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		p.t.Fatal(err)
+	}
+	p.cmd = cmd
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	p.t.Fatalf("process %v never became healthy at %s", p.args, p.url)
+}
+
+func (p *smokeProc) kill() {
+	p.t.Helper()
+	if p.cmd != nil && p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill() // SIGKILL: no shutdown flush, no checkpoint
+		_, _ = p.cmd.Process.Wait()
+		p.cmd = nil
+	}
+}
+
+func postJSONBody(t *testing.T, url, id string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		req.Header.Set("Idempotency-Key", id)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSONInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func TestRelaySmokeMultiProcess(t *testing.T) {
+	if os.Getenv(smokeEnv) != "1" {
+		t.Skipf("set %s=1 to run the multi-process relay smoke test", smokeEnv)
+	}
+	bin := filepath.Join(t.TempDir(), "ldpd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/ldpd").CombinedOutput(); err != nil {
+		t.Fatalf("building ldpd: %v\n%s", err, out)
+	}
+
+	upPort, refPort := freePort(t), freePort(t)
+	r1Port, r2Port := freePort(t), freePort(t)
+	upURL := fmt.Sprintf("http://127.0.0.1:%d", upPort)
+	refURL := fmt.Sprintf("http://127.0.0.1:%d", refPort)
+	r1URL := fmt.Sprintf("http://127.0.0.1:%d", r1Port)
+	r2URL := fmt.Sprintf("http://127.0.0.1:%d", r2Port)
+
+	up := &smokeProc{t: t, bin: bin, url: upURL, args: []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", upPort), "-state-dir", t.TempDir()}}
+	ref := &smokeProc{t: t, bin: bin, url: refURL, args: []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", refPort), "-state-dir", t.TempDir()}}
+	r2dir := t.TempDir()
+	r1 := &smokeProc{t: t, bin: bin, url: r1URL, args: []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", r1Port), "-mode", "relay",
+		"-upstream", upURL, "-state-dir", t.TempDir(), "-flush-interval", "1h"}}
+	r2 := &smokeProc{t: t, bin: bin, url: r2URL, args: []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", r2Port), "-mode", "relay",
+		"-upstream", upURL, "-state-dir", r2dir, "-flush-interval", "1h"}}
+	up.start()
+	ref.start()
+	defer up.kill()
+	defer ref.kill()
+
+	// Both collections exist on the upstream and the reference node
+	// before the relays boot, so their initial sync mirrors them. The
+	// long -flush-interval keeps the test in control of every flush.
+	freqCfg := core.CollectionConfig{
+		Config: task.Config{Task: task.TypeFreq, Mechanism: core.MechanismGRR, Epsilon: 2, Domain: 8},
+		Shards: 2,
+	}
+	hhCfg := core.CollectionConfig{
+		Config: task.Config{Task: task.TypeHH, Mechanism: hhtask.MechanismPEM, Epsilon: 2, Bits: 8, Levels: 4, K: 3},
+		Shards: 1,
+	}
+	for _, target := range []string{upURL, refURL} {
+		for name, cfg := range map[string]core.CollectionConfig{"words": freqCfg, "top": hhCfg} {
+			body, err := json.Marshal(core.CreateCollectionRequest{Name: name, CollectionConfig: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp, raw := postJSONBody(t, target+"/collections", "", body); resp.StatusCode != http.StatusCreated {
+				t.Fatalf("creating %s on %s: %s: %s", name, target, resp.Status, raw)
+			}
+		}
+	}
+	r1.start()
+	r2.start()
+	defer r1.kill()
+	defer r2.kill()
+
+	relayURLs := []string{r1URL, r2URL}
+	sendBatch := func(target, col, id string, envs []json.RawMessage) []byte {
+		t.Helper()
+		body, err := json.Marshal(envs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, raw := postJSONBody(t, target+"/collections/"+col+"/report/batch", id, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("batch %s -> %s: %s: %s", id, target, resp.Status, raw)
+		}
+		return raw
+	}
+	flushAll := func() {
+		t.Helper()
+		for _, u := range relayURLs {
+			if resp, raw := postJSONBody(t, u+"/flush", "", nil); resp.StatusCode != http.StatusOK {
+				t.Fatalf("flush %s: %s: %s", u, resp.Status, raw)
+			}
+		}
+	}
+
+	// ---- freq: round-robin seeded batches across the relays, same
+	// envelopes straight into the reference node.
+	freqClient, err := core.NewClient(core.MechanismGRR, core.PrivacyParams{Epsilon: 2, Domain: 8}, ldprand.NewSplitMix64(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqSrc := ldprand.NewSplitMix64(302)
+	freqBatch := func(n int) []json.RawMessage {
+		envs := make([]json.RawMessage, n)
+		for i := range envs {
+			env, err := freqClient.Report(ldprand.Intn(freqSrc, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs[i] = raw
+		}
+		return envs
+	}
+	var killedFreqID string
+	var killedFreqBatch []json.RawMessage
+	for i := 0; i < 6; i++ {
+		envs := freqBatch(10)
+		id := fmt.Sprintf("freq-%d", i)
+		sendBatch(relayURLs[i%2], "words", id, envs)
+		sendBatch(refURL, "words", id, envs)
+		if i%2 == 1 {
+			killedFreqID, killedFreqBatch = id, envs
+		}
+	}
+
+	// ---- hh round 0: both relays hold reports, nothing flushed yet.
+	hhClient := func(seed uint64) *hhtask.Client {
+		c, err := hhtask.NewClient(2, 8, 4, ldprand.NewSplitMix64(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	hhSrc := ldprand.NewSplitMix64(304)
+	hhBatch := func(c *hhtask.Client, round, n int) []json.RawMessage {
+		envs := make([]json.RawMessage, n)
+		for i := range envs {
+			v := uint64(0xAB)
+			if ldprand.Intn(hhSrc, 3) == 0 {
+				v = uint64(ldprand.Intn(hhSrc, 256))
+			}
+			raw, err := c.Report(v, round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs[i] = raw
+		}
+		return envs
+	}
+	c0 := hhClient(400)
+	hhA := hhBatch(c0, 0, 30)
+	hhB := hhBatch(c0, 0, 30)
+	sendBatch(r1URL, "top", "hh-0-a", hhA)
+	sendBatch(r2URL, "top", "hh-0-b", hhB)
+	sendBatch(refURL, "top", "hh-0-a", hhA)
+	sendBatch(refURL, "top", "hh-0-b", hhB)
+
+	// ---- SIGKILL relay 2 mid-round: its acknowledged freq and hh
+	// reports live only in its journal. Restart it over the same state
+	// dir; boot replays the journal and the initial flush cycle ships
+	// the recovered state upstream.
+	r2.kill()
+	r2restart := &smokeProc{t: t, bin: bin, url: r2URL, args: r2.args}
+	r2restart.start()
+	defer r2restart.kill()
+
+	// A client that never saw the pre-kill acknowledgment retries the
+	// same batch under the same idempotency key: it must deduplicate,
+	// not double-count.
+	var br core.BatchResponse
+	if raw := sendBatch(r2URL, "words", killedFreqID, killedFreqBatch); json.Unmarshal(raw, &br) == nil {
+		if !br.Replayed {
+			t.Fatalf("retried pre-kill batch %s was re-aggregated: %s", killedFreqID, raw)
+		}
+	}
+
+	// ---- round coordination: flush every relay, then close the round
+	// through relay 1 (which force-flushes itself and forwards the
+	// conditional advance). The reference node advances directly.
+	advance := func(target string, round int) {
+		t.Helper()
+		resp, raw := postJSONBody(t, target+"/collections/top/advance", "", []byte(fmt.Sprintf(`{"round":%d}`, round)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advance round %d on %s: %s: %s", round, target, resp.Status, raw)
+		}
+	}
+	// After a round closes, a client refetches the frontier through
+	// whichever relay it reports to; the refetch realigns that relay
+	// with the upstream (relay 2 never saw the advance otherwise).
+	realign := func(round int) {
+		t.Helper()
+		for _, u := range relayURLs {
+			var fr core.FrontierResponse
+			getJSONInto(t, u+"/collections/top/frontier", &fr)
+			if fr.Round != round {
+				t.Fatalf("relay %s frontier at round %d, want %d", u, fr.Round, round)
+			}
+		}
+	}
+	flushAll()
+	advance(r1URL, 0)
+	advance(refURL, 0)
+	realign(1)
+
+	for round := 1; round < 4; round++ {
+		c := hhClient(uint64(400 + round))
+		a := hhBatch(c, round, 30)
+		b := hhBatch(c, round, 30)
+		sendBatch(r1URL, "top", fmt.Sprintf("hh-%d-a", round), a)
+		sendBatch(r2URL, "top", fmt.Sprintf("hh-%d-b", round), b)
+		sendBatch(refURL, "top", fmt.Sprintf("hh-%d-a", round), a)
+		sendBatch(refURL, "top", fmt.Sprintf("hh-%d-b", round), b)
+		flushAll()
+		advance(r1URL, round)
+		advance(refURL, round)
+		if round < 3 {
+			realign(round + 1)
+		}
+	}
+	flushAll()
+
+	// ---- the global view through a relay equals the single node,
+	// bit for bit (freq GRR support counts and hh sums are integers).
+	var relayed, single core.EstimateResponse
+	getJSONInto(t, r1URL+"/collections/words/estimate", &relayed)
+	getJSONInto(t, refURL+"/collections/words/estimate", &single)
+	if relayed.Reports != single.Reports || relayed.Reports != 60 {
+		t.Fatalf("freq reports: relayed %d, single %d, want 60", relayed.Reports, single.Reports)
+	}
+	var gotEst, wantEst any
+	if err := json.Unmarshal(relayed.Estimate, &gotEst); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(single.Estimate, &wantEst); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotEst, wantEst) {
+		t.Fatalf("freq estimate through relay:\n%s\nsingle node:\n%s", relayed.Estimate, single.Estimate)
+	}
+
+	var relayedFr, singleFr core.FrontierResponse
+	getJSONInto(t, r1URL+"/collections/top/frontier", &relayedFr)
+	getJSONInto(t, refURL+"/collections/top/frontier", &singleFr)
+	if relayedFr.Phase != "done" || singleFr.Phase != "done" {
+		t.Fatalf("protocol not done: relayed %q, single %q", relayedFr.Phase, singleFr.Phase)
+	}
+	var gotF, wantF hhtask.Frontier
+	if err := json.Unmarshal(relayedFr.Frontier, &gotF); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(singleFr.Frontier, &wantF); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotF, wantF) {
+		t.Fatalf("hh frontier through relay:\n%+v\nsingle node:\n%+v", gotF, wantF)
+	}
+	if len(gotF.Hits) == 0 || gotF.Hits[0].Value != 0xAB {
+		t.Fatalf("expected the planted heavy hitter 0xAB first, got %+v", gotF.Hits)
+	}
+
+	// Relay /status still reports its own flushing standing.
+	var st core.StatusResponse
+	getJSONInto(t, r1URL+"/collections/words/status", &st)
+	if st.Relay == nil || !strings.HasPrefix(st.Relay.Upstream, "http://127.0.0.1:") {
+		t.Fatalf("relay status block %+v", st.Relay)
+	}
+}

@@ -8,9 +8,10 @@ import (
 
 // LockOrder enforces the mutex hierarchy the serving core's
 // crash-safety argument depends on, documented across
-// core.Collection, core.ShardedAggregator and core.journal:
+// core.Collection, core.ShardedAggregator, core.journal and
+// cluster.Relay:
 //
-//	walMu < advanceMu < cacheMu/estMu < phaseMu < shard mutex < dedupMu
+//	flushMu < walMu < advanceMu < cacheMu/estMu < phaseMu < shard mutex < dedupMu < outMu < relayMu
 //
 // Ingestion holds walMu shared around append+fold so a checkpoint
 // (walMu exclusive) sees journal-generation boundaries exactly;
@@ -19,6 +20,13 @@ import (
 // waits on coordination locks. Acquiring these locks in any other
 // order is a deadlock or a torn-round read waiting for the right
 // interleaving.
+//
+// The relay tier brackets the core hierarchy: flushMu serializes
+// whole flush cycles and is taken before any collection's WAL lock
+// (a cycle cuts state via CutDelta, walMu exclusive); outMu guards
+// the outbox spool and relayMu the flush-standing counters — both
+// are leaves acquired with no core lock held and nothing ranked
+// acquired under them.
 //
 // The analyzer additionally flags JSON encoding/decoding and file I/O
 // performed while a shard mutex is held: the task.Preparer split
@@ -42,21 +50,27 @@ var LockOrder = &Analyzer{
 
 // Lock ranks, outermost first. Gaps leave room for future layers.
 const (
+	rankFlush   = 5 // relay flush cycle: outermost, held across cut+send
 	rankWal     = 10
 	rankAdvance = 20
 	rankCache   = 30
 	rankPhase   = 40
 	rankShard   = 50
 	rankDedup   = 60
+	rankOutbox  = 65 // outbox spool: leaf, file ops only
+	rankRelay   = 70 // relay standing counters: strict leaf
 )
 
 var lockRanks = map[string]int{
+	"flushMu":   rankFlush,
 	"walMu":     rankWal,
 	"advanceMu": rankAdvance,
 	"cacheMu":   rankCache,
 	"estMu":     rankCache,
 	"phaseMu":   rankPhase,
 	"dedupMu":   rankDedup,
+	"outMu":     rankOutbox,
+	"relayMu":   rankRelay,
 }
 
 // heldLock is one ranked lock currently held on the walked path.
@@ -452,7 +466,7 @@ func (w *lockWalker) checkCall(held []heldLock, call *ast.CallExpr) []heldLock {
 		for _, h := range held {
 			if h.rank >= rank {
 				w.pass.Reportf(call.Pos(),
-					"%s acquired while %s is held; the lock order is walMu < advanceMu < cacheMu/estMu < phaseMu < shard mu < dedupMu",
+					"%s acquired while %s is held; the lock order is flushMu < walMu < advanceMu < cacheMu/estMu < phaseMu < shard mu < dedupMu < outMu < relayMu",
 					name, h.name)
 				break
 			}
@@ -469,7 +483,7 @@ func (w *lockWalker) checkCall(held []heldLock, call *ast.CallExpr) []heldLock {
 				for _, h := range held {
 					if h.rank >= rank {
 						w.pass.Reportf(call.Pos(),
-							"call to %s acquires %s while %s is held; the lock order is walMu < advanceMu < cacheMu/estMu < phaseMu < shard mu < dedupMu",
+							"call to %s acquires %s while %s is held; the lock order is flushMu < walMu < advanceMu < cacheMu/estMu < phaseMu < shard mu < dedupMu < outMu < relayMu",
 							callee.Name(), name, h.name)
 					}
 				}

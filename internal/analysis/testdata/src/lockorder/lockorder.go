@@ -75,6 +75,45 @@ func decode(data []byte) error {
 	return json.Unmarshal(data, &v)
 }
 
+// relay matches the relay tier's lock shape: flushMu brackets whole
+// flush cycles, relayMu and outMu are leaves.
+type relay struct {
+	flushMu sync.Mutex
+	relayMu sync.Mutex
+	outMu   sync.Mutex
+	c       *coord
+}
+
+// goodFlushCycle is the sanctioned relay shape: flushMu outermost,
+// the cut under walMu, then the leaf locks with the core released.
+func (r *relay) goodFlushCycle() {
+	r.flushMu.Lock()
+	r.c.walMu.Lock()
+	r.c.walMu.Unlock()
+	r.outMu.Lock()
+	r.outMu.Unlock()
+	r.relayMu.Lock()
+	r.relayMu.Unlock()
+	r.flushMu.Unlock()
+}
+
+// badFlushUnderWal inverts the bracket: a flush cycle started while a
+// collection WAL lock is held deadlocks against the cut.
+func (r *relay) badFlushUnderWal() {
+	r.c.walMu.Lock()
+	r.flushMu.Lock() // want `flushMu acquired while walMu is held`
+	r.flushMu.Unlock()
+	r.c.walMu.Unlock()
+}
+
+// badCoreUnderLeaf acquires a core lock under the relayMu leaf.
+func (r *relay) badCoreUnderLeaf() {
+	r.relayMu.Lock()
+	r.c.phaseMu.Lock() // want `phaseMu acquired while relayMu is held`
+	r.c.phaseMu.Unlock()
+	r.relayMu.Unlock()
+}
+
 // sweepUnwaived holds every shard lock at once; the second loop
 // iteration acquires a shard mutex with one already held.
 func (c *coord) sweepUnwaived() {

@@ -1,0 +1,240 @@
+package cluster
+
+// Crash-consistency for the relay flush path, by brute force like the
+// core sweep: a counting dry run enumerates every mutating filesystem
+// operation the relay workload performs — journal appends, flush
+// frames, outbox writes, checkpoints — then the workload re-runs once
+// per operation with a crash (clean or torn-write) injected there. The
+// relay restarts over the surviving directory, the client retries
+// every batch under its original idempotency key, one flush drains
+// whatever survived, and the UPSTREAM estimate must be bit-identical
+// to a single node that folded each batch exactly once. The upstream
+// stays alive across the relay's crash (only the relay dies), so its
+// dedup index is what converts resent deltas into exactly-once folds.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsio"
+)
+
+const relayCol = "words"
+
+func relayBatchID(i int) string { return fmt.Sprintf("relay-batch-%02d", i) }
+
+// relayReference folds every batch exactly once, memory-only: the
+// upstream counts any crash + restart + retry interleaving must
+// reproduce. GRR state is integer support counts, so the equality is
+// exact.
+func relayReference(t *testing.T, batches [][]json.RawMessage) []float64 {
+	t.Helper()
+	reg := core.NewCollectionRegistry()
+	c, err := reg.Create(relayCol, freqCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		if _, err := c.IngestBatch(relayBatchID(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return freqCounts(t, c)
+}
+
+// ingestRelayRetry plays the client's role: re-send the batch under
+// the same idempotency key until acknowledged, running a flush cycle
+// and a checkpoint between attempts the way the relay's background
+// loops would (the flush drains memory-held deltas, the checkpoint
+// clears a broken journal).
+func ingestRelayRetry(ctx context.Context, r *Relay, store *core.Store, reg *core.CollectionRegistry, c *core.Collection, id string, b []json.RawMessage) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := c.IngestBatch(id, b); err == nil {
+			return true
+		}
+		_ = r.Flush(ctx)
+		_ = store.Save(reg, c)
+	}
+	return false
+}
+
+// runRelayCrashWorkload drives one fixed relay scenario over fsys —
+// mirror the upstream collection, ingest the batches with a flush in
+// the middle, flush and checkpoint at the end — and returns which
+// batches were acknowledged. Injected failures are expected; a failed
+// step leaves its batch unacknowledged.
+func runRelayCrashWorkload(t testing.TB, fsys fsio.FS, dir, upURL string, batches [][]json.RawMessage) map[int]bool {
+	t.Helper()
+	ctx := context.Background()
+	acked := make(map[int]bool)
+	store, err := core.NewStoreFS(dir, fsys, core.JournalSyncEvery)
+	if err != nil {
+		if store, err = core.NewStoreFS(dir, fsys, core.JournalSyncEvery); err != nil {
+			return acked
+		}
+	}
+	out, err := NewOutbox(fsys, filepath.Join(dir, "outbox"))
+	if err != nil {
+		if out, err = NewOutbox(fsys, filepath.Join(dir, "outbox")); err != nil {
+			return acked
+		}
+	}
+	store.SetFlushSink(FlushSink(out))
+	reg := core.NewCollectionRegistry()
+	if _, err := store.Load(reg); err != nil {
+		return acked
+	}
+	svc := core.NewMultiService(reg, store)
+	r := NewRelay(svc, store, NewUpstream(upURL), out)
+
+	// Nothing is acknowledged before the mirrored collection has its
+	// journal and base snapshot — SyncCollections rolls back a mirror
+	// that could not get them, so retry until one sticks.
+	var c *core.Collection
+	for attempt := 0; attempt < 3 && c == nil; attempt++ {
+		_ = r.SyncCollections(ctx)
+		if cc, ok := reg.Get(relayCol); ok {
+			c = cc
+		}
+	}
+	if c == nil {
+		return acked
+	}
+	for i, b := range batches {
+		if ingestRelayRetry(ctx, r, store, reg, c, relayBatchID(i), b) {
+			acked[i] = true
+		}
+		if i == len(batches)/2 {
+			_ = r.Flush(ctx)
+		}
+	}
+	_ = r.Flush(ctx)
+	_ = store.SaveAll(reg)
+	return acked
+}
+
+// verifyRelayCrashRecovery restarts the relay over whatever the crash
+// left in dir (real filesystem, sink installed before Load), retries
+// EVERY batch under its original key, flushes, and asserts the two
+// halves of the contract: an acknowledged batch deduplicates (never
+// re-aggregated), and the upstream ends bit-identical to the
+// single-node reference.
+func verifyRelayCrashRecovery(t *testing.T, dir, upURL string, upC *core.Collection, batches [][]json.RawMessage, acked map[int]bool, want []float64) {
+	t.Helper()
+	ctx := context.Background()
+	store, err := core.NewStoreFS(dir, fsio.OS, core.JournalSyncEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewOutbox(fsio.OS, filepath.Join(dir, "outbox"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetFlushSink(FlushSink(out))
+	reg := core.NewCollectionRegistry()
+	if _, err := store.Load(reg); err != nil {
+		t.Fatal(err)
+	}
+	svc := core.NewMultiService(reg, store)
+	r := NewRelay(svc, store, NewUpstream(upURL), out)
+	if err := r.SyncCollections(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := reg.Get(relayCol)
+	if !ok {
+		t.Fatal("mirrored collection missing after restart + sync")
+	}
+	for i, b := range batches {
+		res, err := c.IngestBatch(relayBatchID(i), b)
+		if err != nil {
+			t.Fatalf("retrying batch %d after restart: %v", i, err)
+		}
+		if res.Accepted != len(b) {
+			t.Fatalf("retry of batch %d accepted %d/%d envelopes", i, res.Accepted, len(b))
+		}
+		if acked[i] && !res.Replayed {
+			t.Fatalf("batch %d was acknowledged before the crash, but the retry re-aggregated it", i)
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatalf("recovery flush: %v", err)
+	}
+	if n := c.Aggregator().Collected(); n != 0 {
+		t.Fatalf("relay still holds %d reports after the recovery flush", n)
+	}
+	if got := freqCounts(t, upC); !reflect.DeepEqual(got, want) {
+		t.Fatalf("upstream estimates after recovery = %v, want %v", got, want)
+	}
+}
+
+// TestRelayCrashSweepUpstreamExact crashes the relay at every mutating
+// filesystem operation of its flush path — once cleanly, once with a
+// torn write — and requires the upstream to end bit-identical to the
+// single-node reference at every single crash point.
+func TestRelayCrashSweepUpstreamExact(t *testing.T) {
+	batches := freqBatches(t, 5, 4)
+	want := relayReference(t, batches)
+
+	fault := fsio.NewFault(fsio.OS)
+	{
+		_, upTS := newUpstream(t, map[string]core.CollectionConfig{relayCol: freqCfg()})
+		runRelayCrashWorkload(t, fault, t.TempDir(), upTS.URL, batches) // disarmed dry run
+		upTS.Close()
+	}
+	n := fault.Ops()
+	if n < 20 {
+		t.Fatalf("dry run observed only %d mutating operations; the workload no longer exercises the relay persistence stack", n)
+	}
+	for _, torn := range []bool{false, true} {
+		for k := 0; k < n; k++ {
+			if torn {
+				fault.CrashTornAt(k)
+			} else {
+				fault.CrashAt(k)
+			}
+			upReg, upTS := newUpstream(t, map[string]core.CollectionConfig{relayCol: freqCfg()})
+			upC, _ := upReg.Get(relayCol)
+			dir := t.TempDir()
+			acked := runRelayCrashWorkload(t, fault, dir, upTS.URL, batches)
+			fault.Disarm()
+			t.Logf("crash at op %d/%d (torn=%v): %d/%d batches acked", k, n, torn, len(acked), len(batches))
+			verifyRelayCrashRecovery(t, dir, upTS.URL, upC, batches, acked, want)
+			upTS.Close()
+		}
+	}
+}
+
+// TestRelayTransientFaultSweep injects a single ENOSPC-style failure
+// at every operation instead of a crash: the relay keeps running, so
+// with retries every batch must be acknowledged and the upstream must
+// still end exact.
+func TestRelayTransientFaultSweep(t *testing.T) {
+	batches := freqBatches(t, 5, 4)
+	want := relayReference(t, batches)
+
+	fault := fsio.NewFault(fsio.OS)
+	{
+		_, upTS := newUpstream(t, map[string]core.CollectionConfig{relayCol: freqCfg()})
+		runRelayCrashWorkload(t, fault, t.TempDir(), upTS.URL, batches)
+		upTS.Close()
+	}
+	n := fault.Ops()
+	for k := 0; k < n; k++ {
+		fault.FailAt(k)
+		upReg, upTS := newUpstream(t, map[string]core.CollectionConfig{relayCol: freqCfg()})
+		upC, _ := upReg.Get(relayCol)
+		dir := t.TempDir()
+		acked := runRelayCrashWorkload(t, fault, dir, upTS.URL, batches)
+		fault.Disarm()
+		if len(acked) != len(batches) {
+			t.Fatalf("transient fault at op %d: only %d/%d batches acknowledged despite retries", k, len(acked), len(batches))
+		}
+		verifyRelayCrashRecovery(t, dir, upTS.URL, upC, batches, acked, want)
+		upTS.Close()
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/fsio"
+	"repro/internal/task"
 )
 
 // ErrJournal marks a failure to append to the write-ahead journal: the
@@ -64,10 +65,18 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Frame kinds. Batches carry report envelopes (and the dedup ID that
 // acknowledged them); advances record a phased collection's round
 // boundary so replay closes rounds at exactly the positions the live
-// process did.
+// process did. The relay tier adds three kinds: merges carry a folded
+// delta's state (so an acknowledged /merge is recoverable exactly like
+// an acknowledged batch), flushes mark the point a relay cut its
+// accumulated state into an outbound delta (replay re-cuts and re-emits
+// the same delta under the same idempotency key), and adopts record a
+// relay re-aligning with an upstream-published frontier.
 const (
 	recordBatch   = "batch"
 	recordAdvance = "advance"
+	recordMerge   = "merge"
+	recordFlush   = "flush"
+	recordAdopt   = "adopt"
 )
 
 // EncBinary tags binary-encoded payloads wherever an encoding is
@@ -77,12 +86,15 @@ const EncBinary = "bin"
 
 // journalRecord is one frame's JSON payload.
 type journalRecord struct {
-	Kind  string            `json:"kind"`
-	ID    string            `json:"id,omitempty"`    // batch: idempotency key
-	Envs  []json.RawMessage `json:"envs,omitempty"`  // batch: JSON report envelopes as received
-	Enc   string            `json:"enc,omitempty"`   // batch: EncBinary when Bins carries the reports
-	Bins  [][]byte          `json:"bins,omitempty"`  // batch: binary report payloads (base64 inside the frame JSON)
-	Round int               `json:"round,omitempty"` // advance: the round that was closed
+	Kind     string            `json:"kind"`
+	ID       string            `json:"id,omitempty"`       // batch/merge: idempotency key; flush: the cut delta's key
+	Envs     []json.RawMessage `json:"envs,omitempty"`     // batch: JSON report envelopes as received
+	Enc      string            `json:"enc,omitempty"`      // batch/merge: EncBinary when Bins/State is binary
+	Bins     [][]byte          `json:"bins,omitempty"`     // batch: binary report payloads (base64 inside the frame JSON)
+	Round    int               `json:"round,omitempty"`    // advance: the round that was closed; flush/adopt: round at the boundary
+	State    []byte            `json:"state,omitempty"`    // merge: the delta's task state (base64 inside the frame JSON)
+	Reports  int               `json:"reports,omitempty"`  // merge/flush: report count the state carries
+	Frontier json.RawMessage   `json:"frontier,omitempty"` // adopt: the upstream frontier that was adopted
 }
 
 // maxFrameBytes bounds a replayed frame's claimed payload length: the
@@ -192,6 +204,19 @@ func frame(rec journalRecord) ([]byte, error) {
 // flag — the invariant "ack ⇒ durably journaled or checkpointed" holds
 // even across partial writes.
 func (j *journal) append(rec journalRecord) error {
+	return j.appendWith(rec, false)
+}
+
+// appendSync appends one frame and fsyncs it regardless of the sync
+// policy. Flush boundaries use it: the frame is the only durable
+// record that a delta left the aggregator, so "delta acknowledged to
+// the outbox ⇒ flush frame durable" must hold even under -journal-sync
+// none.
+func (j *journal) appendSync(rec journalRecord) error {
+	return j.appendWith(rec, true)
+}
+
+func (j *journal) appendWith(rec journalRecord, forceSync bool) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.broken != nil {
@@ -215,7 +240,7 @@ func (j *journal) append(rec journalRecord) error {
 		j.broken = err
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
-	if j.syncEach {
+	if j.syncEach || forceSync {
 		if err := j.f.Sync(); err != nil {
 			j.broken = err
 			return fmt.Errorf("%w: %v", ErrJournal, err)
@@ -503,4 +528,198 @@ func (c *Collection) journalAdvanceLocked(round int) {
 	if err := c.journal.append(journalRecord{Kind: recordAdvance, Round: round}); err != nil {
 		log.Printf("core: journaling advance of collection %q past round %d: %v", c.name, round, err)
 	}
+}
+
+// MergeResult is the outcome of folding one delta.
+type MergeResult struct {
+	// Accepted is the number of reports the delta's state carried into
+	// the aggregator.
+	Accepted int
+	// Replayed marks a deduplicated retry: the delta was already
+	// folded, the recorded outcome is returned again.
+	Replayed bool
+}
+
+// IngestMerge folds one relay delta through the write-ahead path:
+// claim the idempotency key, decode and validate the delta's state,
+// journal it, then fold it with the exact Merge machinery — claim →
+// validate → journal → fold, so an acknowledged delta is always
+// recoverable, a retried one never double-counts, and a delta that
+// cannot fold (wrong round, undecodable state) is rejected BEFORE it
+// is journaled — a frame that would fail at replay must never be
+// written. d.ID may be empty (no deduplication; still journaled).
+//
+// Phased collections additionally require the delta's round position
+// to match the collection's: the check runs under the shared WAL lock,
+// where the round cannot move (advances hold it exclusively), so a
+// delta validated here cannot become wrong-round before its fold. A
+// mismatch wraps task.ErrWrongRound for the HTTP layer's 409 mapping.
+func (c *Collection) IngestMerge(d Delta) (MergeResult, error) {
+	id := d.ID
+	if id != "" {
+		c.dedupMu.Lock()
+		mark, state := c.dedup.claim(id)
+		c.dedupMu.Unlock()
+		switch state {
+		case dedupDone:
+			return MergeResult{Accepted: mark.Accepted, Replayed: true}, nil
+		case dedupInflight:
+			return MergeResult{}, ErrBatchInFlight
+		}
+	}
+	abandon := func() {
+		if id != "" {
+			c.dedupMu.Lock()
+			c.dedup.abandon(id)
+			c.dedupMu.Unlock()
+		}
+	}
+	c.walMu.RLock()
+	delta, err := c.agg.NewDelta(d.State, d.Enc == EncBinary)
+	if err != nil {
+		c.walMu.RUnlock()
+		abandon()
+		return MergeResult{}, err
+	}
+	if c.agg.Phased() {
+		p, ok := delta.(task.Phased)
+		if !ok {
+			c.walMu.RUnlock()
+			abandon()
+			return MergeResult{}, fmt.Errorf("core: delta for phased collection %q carries no phase", c.name)
+		}
+		if p.Round() != c.agg.Round() || p.Done() != c.agg.Done() {
+			round, done := c.agg.Round(), c.agg.Done()
+			c.walMu.RUnlock()
+			abandon()
+			return MergeResult{}, fmt.Errorf("core: delta at round %d (done=%v) cannot merge into collection %q at round %d (done=%v): %w",
+				p.Round(), p.Done(), c.name, round, done, task.ErrWrongRound)
+		}
+	}
+	if c.journal != nil {
+		rec := journalRecord{Kind: recordMerge, ID: id, Enc: d.Enc, State: d.State, Reports: delta.Collected()}
+		if err := c.journal.append(rec); err != nil {
+			c.walMu.RUnlock()
+			abandon()
+			return MergeResult{}, err
+		}
+	}
+	n, err := c.agg.FoldDelta(delta)
+	c.walMu.RUnlock()
+	if err != nil {
+		// Journaled but not folded: replay will hit the same failure and
+		// truncate the frame as corruption. Do not acknowledge.
+		abandon()
+		return MergeResult{}, err
+	}
+	if id != "" {
+		c.dedupMu.Lock()
+		c.dedup.complete(BatchMark{ID: id, Accepted: n})
+		c.dedupMu.Unlock()
+	}
+	return MergeResult{Accepted: n}, nil
+}
+
+// CutDelta captures everything the collection has accumulated since
+// its last cut as an outbound Delta and drains the shards, journaling
+// a flush frame at the boundary. The frame is appended (and always
+// fsynced, whatever the sync policy) BEFORE the drain: it is the only
+// durable record that the cut state left the aggregator, so a crash
+// anywhere after it replays the pre-cut frames, re-cuts the identical
+// state under the identical idempotency key, and re-emits it — the
+// upstream's dedup index makes the resend fold exactly once.
+//
+// Returns (nil, nil) when the collection holds no reports — nothing to
+// flush, no frame written. id names the cut for upstream deduplication.
+func (c *Collection) CutDelta(id string) (*Delta, error) {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	return c.cutLocked(id, true)
+}
+
+// CutAndAdopt cuts the collection's accumulated state (when any) and
+// then re-aligns it with an upstream-published frontier, as one atomic
+// step under the exclusive WAL lock — the force-flush a relay performs
+// when its round view went stale: nothing already accepted is lost to
+// the adoption, and no report lands between the cut and the adopt.
+// The returned Delta (nil when the collection was empty) still carries
+// the OLD round; the upstream will 409 it, and the caller strands it
+// for the operator rather than dropping acknowledged reports.
+func (c *Collection) CutAndAdopt(id string, frontier json.RawMessage) (*Delta, error) {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	d, err := c.cutLocked(id, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.adoptLocked(frontier); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// AdoptFrontier re-aligns a phased collection with an upstream
+// frontier without cutting (boot-time mirroring of a virgin relay
+// collection). Any accumulated current-round reports are discarded —
+// callers flush first (or use CutAndAdopt).
+func (c *Collection) AdoptFrontier(frontier json.RawMessage) error {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	return c.adoptLocked(frontier)
+}
+
+// cutLocked is CutDelta under an already-held exclusive WAL lock.
+// Replay reuses it with journalFrame=false: the flush frame being
+// replayed is already durable, and the journal is not yet installed.
+func (c *Collection) cutLocked(id string, journalFrame bool) (*Delta, error) {
+	if c.agg.Collected() == 0 {
+		return nil, nil
+	}
+	merged, err := c.agg.Merged()
+	if err != nil {
+		return nil, err
+	}
+	state, enc, err := marshalTaskState(merged)
+	if err != nil {
+		return nil, err
+	}
+	d := &Delta{
+		Version:    DeltaVersion,
+		Collection: c.name,
+		ID:         id,
+		Config:     c.cfg.Config,
+		Reports:    merged.Collected(),
+		Enc:        enc,
+		State:      state,
+	}
+	if p, ok := merged.(task.Phased); ok {
+		d.Round, d.Done = p.Round(), p.Done()
+	}
+	if journalFrame && c.journal != nil {
+		if err := c.journal.appendSync(journalRecord{Kind: recordFlush, ID: id, Reports: d.Reports, Round: d.Round}); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.agg.Drain(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// adoptLocked applies an upstream frontier and journals the adopt
+// frame; the caller holds walMu exclusively. Like advances, a failed
+// append leaves the adoption applied in memory but the journal broken
+// (no later report acknowledged until a checkpoint resets it); a relay
+// that crashes in between simply re-syncs with the upstream frontier
+// at boot.
+func (c *Collection) adoptLocked(frontier json.RawMessage) error {
+	if err := c.agg.AdoptFrontier(frontier); err != nil {
+		return err
+	}
+	if c.journal != nil {
+		if err := c.journal.appendSync(journalRecord{Kind: recordAdopt, Frontier: frontier, Round: c.agg.Round()}); err != nil {
+			log.Printf("core: journaling frontier adoption of collection %q at round %d: %v", c.name, c.agg.Round(), err)
+		}
+	}
+	return nil
 }

@@ -143,6 +143,16 @@ type Store struct {
 	fs          fsio.FS
 	journalSync string
 
+	// flushSink receives the deltas re-cut while replaying relay flush
+	// frames (see SetFlushSink). Set once before Load, never mutated
+	// after, so replay reads it without locking.
+	flushSink FlushSink
+
+	// saveGate, when set, can veto a collection's checkpoint (see
+	// SetSaveGate). Set once before serving, never mutated after, so
+	// Save reads it without locking.
+	saveGate func(collection string) error
+
 	mu     sync.Mutex
 	saved  map[string]uint64    // collection -> epoch at last successful save
 	names  map[string]*nameLock // per-collection lock serializing Save vs Remove
@@ -263,6 +273,32 @@ func (st *Store) unlockName(name string, l *nameLock) {
 // Dir returns the state directory path.
 func (st *Store) Dir() string { return st.dir }
 
+// FlushSink receives a delta re-cut during journal replay of a relay
+// flush frame. The sink must durably persist the delta (the relay tier
+// writes it to the outbox under the frame's idempotency key) — after
+// the sink returns, replay drains the replayed state exactly as the
+// live flush did.
+type FlushSink func(collection string, d Delta) error
+
+// SetFlushSink installs the relay tier's flush sink. It must be called
+// before Load: a journal holding flush frames (written by a relay)
+// cannot be replayed without one — replay treats that as corruption
+// and truncates, preserving the bytes under .corrupt for the operator.
+func (st *Store) SetFlushSink(sink FlushSink) {
+	st.flushSink = sink
+}
+
+// SetSaveGate installs a predicate that can postpone a collection's
+// checkpoint. A checkpoint truncates the journal, and with it any
+// flush frames — for a relay, the only durable record of a cut delta
+// whose outbox write failed. The relay tier gates checkpoints on
+// "every cut delta is durable in the outbox": until then Save fails
+// (and is retried by the checkpoint loop) rather than erasing the one
+// copy a crash could still recover. Must be set before serving.
+func (st *Store) SetSaveGate(gate func(collection string) error) {
+	st.saveGate = gate
+}
+
 // HasSnapshot reports whether a snapshot file exists for the name. It
 // takes no locks and allocates no lock-map entry, so it is safe to
 // call with client-supplied names to decide whether Remove is worth
@@ -360,6 +396,11 @@ func (st *Store) Save(reg *CollectionRegistry, c *Collection) error {
 }
 
 func (st *Store) save(reg *CollectionRegistry, c *Collection) error {
+	if st.saveGate != nil {
+		if err := st.saveGate(c.name); err != nil {
+			return fmt.Errorf("core: checkpoint of %q postponed: %w", c.name, err)
+		}
+	}
 	l := st.lockName(c.name)
 	defer st.unlockName(c.name, l)
 	if cur, ok := reg.Get(c.name); !ok || cur != c {
@@ -865,7 +906,7 @@ func (st *Store) replayJournal(c *Collection, snap CollectionSnapshot) (int, err
 			if !ok {
 				break
 			}
-			if err := c.replayRecord(rec); err != nil {
+			if err := c.replayRecord(rec, st.flushSink); err != nil {
 				log.Printf("core: replay %s at offset %d: %v (treated as corruption)", filepath.Base(s.path), off, err)
 				break
 			}
@@ -897,7 +938,7 @@ func (st *Store) replayJournal(c *Collection, snap CollectionSnapshot) (int, err
 // replayRecord applies one journal record to the restored aggregator,
 // mirroring exactly what the live ingest path did when it wrote the
 // frame.
-func (c *Collection) replayRecord(rec journalRecord) error {
+func (c *Collection) replayRecord(rec journalRecord, sink FlushSink) error {
 	switch rec.Kind {
 	case recordBatch:
 		var accepted, size int
@@ -924,6 +965,43 @@ func (c *Collection) replayRecord(rec journalRecord) error {
 		// against the wrong snapshot) surfaces instead of silently
 		// splitting users across rounds.
 		return c.agg.AdvanceExpecting(rec.Round)
+	case recordMerge:
+		delta, err := c.agg.NewDelta(rec.State, rec.Enc == EncBinary)
+		if err != nil {
+			return err
+		}
+		n, err := c.agg.FoldDelta(delta)
+		if err != nil {
+			return err
+		}
+		if rec.ID != "" {
+			c.dedupMu.Lock()
+			c.dedup.complete(BatchMark{ID: rec.ID, Accepted: n})
+			c.dedupMu.Unlock()
+		}
+		return nil
+	case recordFlush:
+		// A relay cut its state into an outbound delta here. Re-cut the
+		// replayed state under the frame's idempotency key and hand it
+		// to the flush sink (which rewrites the outbox file); the
+		// upstream's dedup makes the re-emitted delta fold exactly once
+		// no matter how far the original got. Replaying onto an empty
+		// aggregator (frames before the cut already checkpointed away)
+		// leaves nothing to re-emit — the outbox file, if the crash
+		// preserved it, is still sent by the boot-time outbox scan.
+		if sink == nil {
+			return fmt.Errorf("flush frame in the journal of collection %q but no flush sink installed (journal written in relay mode; restart with -mode relay)", c.name)
+		}
+		d, err := c.cutLocked(rec.ID, false)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			return nil
+		}
+		return sink(c.name, *d)
+	case recordAdopt:
+		return c.agg.AdoptFrontier(rec.Frontier)
 	default:
 		return fmt.Errorf("unknown journal record kind %q", rec.Kind)
 	}

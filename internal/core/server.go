@@ -105,6 +105,10 @@ type Service struct {
 	// unhealthyAfter is the consecutive-checkpoint-failure count past
 	// which GET /healthz answers 503 for the process.
 	unhealthyAfter int
+	// relayInfo, when set (relay-mode processes), reports a collection's
+	// relay standing for /status and /healthz; nil entries mean the
+	// collection is not relayed. Set once before serving.
+	relayInfo func(collection string) *RelayInfo
 }
 
 // DefaultUnhealthyAfter is the /healthz failure-streak threshold when
@@ -150,6 +154,33 @@ func (s *Service) SetUnhealthyAfter(n int) {
 // Registry exposes the service's collection registry.
 func (s *Service) Registry() *CollectionRegistry { return s.reg }
 
+// RelayInfo is a relay-mode collection's flushing standing, reported
+// in /status (relay field) and folded into the /healthz verdict: a
+// latched-broken upstream makes the process degraded — it is accepting
+// reports it cannot currently deliver.
+type RelayInfo struct {
+	Upstream            string  `json:"upstream"`
+	LastFlushUnix       int64   `json:"last_flush_unix,omitempty"`
+	LastFlushAgeSeconds float64 `json:"last_flush_age_seconds,omitempty"`
+	// PendingReports counts reports folded locally but not yet cut into
+	// an outbound delta; PendingDeltas counts cut deltas still waiting
+	// in the outbox for an upstream acknowledgment.
+	PendingReports int `json:"pending_reports"`
+	PendingDeltas  int `json:"pending_deltas"`
+	// StrandedDeltas counts deltas set aside after an unresolvable
+	// upstream rejection (e.g. a round that closed for good); they are
+	// preserved on disk for the operator, never silently dropped.
+	StrandedDeltas int  `json:"stranded_deltas,omitempty"`
+	FlushFailures  int  `json:"consecutive_flush_failures"`
+	UpstreamBroken bool `json:"upstream_broken,omitempty"`
+}
+
+// SetRelayInfo installs the relay tier's per-collection status hook.
+// Must be called before the handler serves traffic.
+func (s *Service) SetRelayInfo(fn func(collection string) *RelayInfo) {
+	s.relayInfo = fn
+}
+
 // Aggregator exposes the default collection's sharded aggregator, for
 // embedding the service in a larger process that also ingests reports
 // directly. It is nil when no default collection exists.
@@ -173,6 +204,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /status", s.withCollection(s.handleStatus))
 	mux.HandleFunc("GET /frontier", s.withCollection(s.handleFrontier))
 	mux.HandleFunc("POST /advance", s.withCollection(s.handleAdvance))
+	mux.HandleFunc("POST /merge", s.withCollection(s.handleMerge))
 	// Collection management.
 	mux.HandleFunc("POST /collections", s.handleCollectionCreate)
 	mux.HandleFunc("GET /collections", s.handleCollectionList)
@@ -185,6 +217,8 @@ func (s *Service) Handler() http.Handler {
 	// Interactive (phased) protocol plane.
 	mux.HandleFunc("GET /collections/{name}/frontier", s.withCollection(s.handleFrontier))
 	mux.HandleFunc("POST /collections/{name}/advance", s.withCollection(s.handleAdvance))
+	// Cluster plane: relays fold their accumulated state in here.
+	mux.HandleFunc("POST /collections/{name}/merge", s.withCollection(s.handleMerge))
 	// Operational plane.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -410,6 +444,66 @@ func (s *Service) finishBatch(w http.ResponseWriter, c *Collection, res BatchRes
 	writeJSON(w, status, resp)
 }
 
+// MergeResponse is the JSON body of POST .../merge: how many reports
+// the delta carried in, whether it was a deduplicated retry, and the
+// collection's report total after the fold.
+type MergeResponse struct {
+	Accepted int  `json:"accepted"`
+	Replayed bool `json:"replayed,omitempty"`
+	Reports  int  `json:"reports"`
+}
+
+// handleMerge folds a relay's state delta into the collection through
+// the exact Merge path. The body is a versioned delta — the binary
+// container under the binary media type, the JSON header otherwise —
+// and an Idempotency-Key header (which overrides the delta's embedded
+// ID) makes retries fold exactly once. Failure mapping follows the
+// report routes: config or codec mismatch 400 before anything is
+// journaled, stale round 409, binary state for a JSON-only task 415,
+// journal down or duplicate in flight 503.
+func (s *Service) handleMerge(w http.ResponseWriter, r *http.Request, c *Collection) {
+	id := r.Header.Get("Idempotency-Key")
+	if len(id) > maxBatchIDBytes {
+		http.Error(w, fmt.Sprintf("Idempotency-Key exceeds %d bytes", maxBatchIDBytes), http.StatusBadRequest)
+		return
+	}
+	buf, ok := readRawBody(w, r, maxBatchBytes, "delta")
+	if !ok {
+		return
+	}
+	defer releaseBodyBuf(buf)
+	d, err := DecodeDelta(buf.Bytes(), isBinaryReport(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if id != "" {
+		d.ID = id
+	}
+	if len(d.ID) > maxBatchIDBytes {
+		http.Error(w, fmt.Sprintf("delta id exceeds %d bytes", maxBatchIDBytes), http.StatusBadRequest)
+		return
+	}
+	if err := c.CheckDeltaConfig(d); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := c.IngestMerge(d)
+	if err != nil {
+		if errors.Is(err, ErrBatchInFlight) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), reportErrStatus(err))
+		return
+	}
+	if res.Accepted > 0 && !res.Replayed {
+		s.maybeAutoAdvance(c)
+	}
+	writeJSON(w, http.StatusOK, MergeResponse{Accepted: res.Accepted, Replayed: res.Replayed, Reports: c.agg.Collected()})
+}
+
 // maybeAutoAdvance closes the collection's round when its configured
 // per-round report quota has been met. Failures are logged, never
 // surfaced to the reporting client — its report was accepted; the
@@ -447,6 +541,11 @@ func (s *Service) checkpointAfterAdvance(c *Collection) {
 type HealthResponse struct {
 	Status      string                      `json:"status"`
 	Collections map[string]CollectionHealth `json:"collections,omitempty"`
+	// Relay maps relayed collections to their upstream-flushing
+	// standing (relay-mode processes only). A latched-broken upstream
+	// degrades the process just like a broken journal: reports are
+	// being accepted that cannot currently reach the aggregation tier.
+	Relay map[string]*RelayInfo `json:"relay,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -464,6 +563,18 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		}
 		resp.Collections[c.Name()] = h
+		if s.relayInfo != nil {
+			if info := s.relayInfo(c.Name()); info != nil {
+				if resp.Relay == nil {
+					resp.Relay = make(map[string]*RelayInfo)
+				}
+				resp.Relay[c.Name()] = info
+				if info.UpstreamBroken {
+					resp.Status = "degraded"
+					status = http.StatusServiceUnavailable
+				}
+			}
+		}
 	}
 	writeJSON(w, status, resp)
 }
@@ -628,6 +739,13 @@ type StatusResponse struct {
 	// the embedded CheckpointInfo carries the size and state encoding of
 	// the collection's last durable snapshot when a store tracks one.
 	Encodings []string `json:"encodings"`
+	// Config is the full round-trippable collection configuration — the
+	// flattened fields above cover the common ones, but a relay
+	// mirroring an upstream collection needs every parameter verbatim.
+	Config CollectionConfig `json:"config"`
+	// Relay is set on relay-mode processes: the collection's flushing
+	// standing against its upstream.
+	Relay *RelayInfo `json:"relay,omitempty"`
 	*CheckpointInfo
 }
 
@@ -655,6 +773,10 @@ func (s *Service) statusFor(c *Collection) StatusResponse {
 		Reports:    c.agg.Collected(),
 		ReportBits: c.agg.ReportBits(),
 		Encodings:  encodingsFor(c),
+		Config:     c.cfg,
+	}
+	if s.relayInfo != nil {
+		st.Relay = s.relayInfo(c.name)
 	}
 	if c.agg.Phased() {
 		round, roundReports := c.agg.Round(), c.agg.RoundReports()

@@ -786,6 +786,174 @@ func (a *ShardedAggregator) MaybeAdvance(quota int) (bool, error) {
 	return true, nil
 }
 
+// NewDelta materializes a task state blob — the combined state another
+// aggregator marshalled, typically a delta cut by a relay node — as a
+// detached aggregator of this collection's configuration, ready for
+// FoldDelta. No locks are taken: decoding runs outside every critical
+// section, and the state layouts themselves are version-gated by the
+// task codecs.
+func (a *ShardedAggregator) NewDelta(state []byte, binary bool) (task.Aggregator, error) {
+	agg, err := task.New(a.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if binary {
+		bs, ok := agg.(task.BinaryStater)
+		if !ok {
+			return nil, fmt.Errorf("core: collection task has no binary state codec: %w", ErrBinaryWire)
+		}
+		if err := bs.UnmarshalStateBinary(state); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+	if err := agg.UnmarshalState(state); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// FoldDelta merges a detached delta aggregator (NewDelta) into one
+// shard under its stripe lock — the multi-node ingest path: a relay's
+// whole flush folds with a single Merge, exactly as if every report in
+// it had been posted here directly, because Merge is exact. For a
+// phased task the delta must sit at the collection's current round;
+// anything else wraps task.ErrWrongRound (the relay's view of the
+// frontier is stale — it refetches and re-cuts). The phase read-lock
+// keeps the fold on one side of any concurrent round advance, so the
+// round check and the merge see the same round.
+//
+// It returns the number of reports the delta carried. The delta is
+// consumed: the shard's Merge may retain parts of its state.
+func (a *ShardedAggregator) FoldDelta(delta task.Aggregator) (int, error) {
+	n := delta.Collected()
+	if n < 0 {
+		return 0, fmt.Errorf("core: delta carries negative report count %d", n)
+	}
+	a.phaseMu.RLock()
+	if a.phased {
+		p, ok := delta.(task.Phased)
+		if !ok {
+			a.phaseMu.RUnlock()
+			return 0, fmt.Errorf("core: delta for phased %s collection carries no phase", a.cfg.Type())
+		}
+		if p.Round() != a.Round() || p.Done() != a.Done() {
+			round, done := a.Round(), a.Done()
+			a.phaseMu.RUnlock()
+			return 0, fmt.Errorf("core: delta at round %d (done=%v) cannot merge into round %d (done=%v): %w",
+				p.Round(), p.Done(), round, done, task.ErrWrongRound)
+		}
+	}
+	s := a.shards[hashutil.Range(a.seq.Add(1)*0x9e3779b97f4a7c15, len(a.shards))]
+	s.mu.Lock()
+	err := s.agg.Merge(delta)
+	s.mu.Unlock()
+	a.phaseMu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	if n > 0 {
+		a.collected.Add(int64(n))
+	}
+	a.epoch.Add(1)
+	return n, nil
+}
+
+// Drain discards every shard's accumulated reports while keeping a
+// phased task's protocol position — the relay-side half of a flush:
+// the caller captures the merged state (Merged) and ships it upstream;
+// Drain then empties the shards so the next flush carries only new
+// reports. One-shot tasks reset outright (their Reset is exactly
+// "drop tallies"); phased shards re-adopt their own current phase,
+// which keeps round, survivors and terminal results but zeroes the
+// round accumulator — a Reset would restart the protocol at round 0
+// and desynchronize the relay from its upstream.
+//
+// Callers are responsible for not losing data: anything not captured
+// before the call is gone. The collection layer runs capture and
+// drain under one exclusive walMu section, so no report can land in
+// between.
+func (a *ShardedAggregator) Drain() error {
+	a.advanceMu.Lock()
+	defer a.advanceMu.Unlock()
+	a.phaseMu.Lock()
+	defer a.phaseMu.Unlock()
+	for _, s := range a.shards {
+		// Same-rank sweep in canonical index order, as in advanceLocked.
+		s.mu.Lock() //ldplint:ok lockorder all-shard sweep in canonical index order
+	}
+	defer func() {
+		for _, s := range a.shards {
+			s.mu.Unlock()
+		}
+	}()
+	if a.phased {
+		// Snapshot first: adopting from a sibling that was itself just
+		// wiped would lose the phase.
+		ref := a.shards[0].agg.Snapshot()
+		for _, s := range a.shards {
+			if err := s.agg.(task.Phased).AdoptPhase(ref); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, s := range a.shards {
+			s.agg.Reset()
+		}
+	}
+	a.collected.Store(0)
+	a.roundStart.Store(0)
+	a.epoch.Add(1)
+	return nil
+}
+
+// AdoptFrontier aligns every shard with a frontier published by
+// another process's collection (task.FrontierAdopter) — how a relay
+// mirrors its upstream's round. Any tallies still held are discarded
+// (the caller flushes first; the collection layer couples the two
+// under one exclusive walMu section). The round mirrors follow the
+// adopted position, so /status, quota checks and report validation
+// agree with the upstream from the first post-adopt request.
+func (a *ShardedAggregator) AdoptFrontier(frontier json.RawMessage) error {
+	if !a.phased {
+		return ErrNotPhased
+	}
+	if _, ok := a.shards[0].agg.(task.FrontierAdopter); !ok {
+		return fmt.Errorf("core: %s task cannot adopt a published frontier", a.cfg.Type())
+	}
+	a.advanceMu.Lock()
+	defer a.advanceMu.Unlock()
+	a.phaseMu.Lock()
+	defer a.phaseMu.Unlock()
+	for _, s := range a.shards {
+		s.mu.Lock() //ldplint:ok lockorder all-shard sweep in canonical index order
+	}
+	defer func() {
+		for _, s := range a.shards {
+			s.mu.Unlock()
+		}
+	}()
+	// Every shard validates the same frontier against the same
+	// parameters, so either all adopt or the first — and therefore
+	// every — adoption fails with the shards unchanged.
+	for _, s := range a.shards {
+		if err := s.agg.(task.FrontierAdopter).AdoptFrontier(frontier); err != nil {
+			return err
+		}
+	}
+	p := a.shards[0].agg.(task.Phased)
+	total := 0
+	for _, s := range a.shards {
+		total += s.agg.Collected()
+	}
+	a.round.Store(int64(p.Round()))
+	a.done.Store(p.Done())
+	a.collected.Store(int64(total))
+	a.roundStart.Store(int64(total))
+	a.epoch.Add(1)
+	return nil
+}
+
 // advanceLocked computes one round boundary; the caller holds
 // advanceMu. All shard locks are held together for the rewrite —
 // ingestion pauses for the merge+prune, which is the round boundary's

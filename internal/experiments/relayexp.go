@@ -1,0 +1,289 @@
+package experiments
+
+// E20: relay fan-in throughput. N relay-mode nodes each ingest a share
+// of the report stream over real HTTP, then flush exact merged deltas
+// into one upstream aggregator; the single node ingests the identical
+// stream directly. Because the bench host has only a core or two,
+// wall-clock parallelism is meaningless here — instead each node's
+// busy time is measured serially and the relay topology is charged its
+// critical path: the slowest relay's ingest share plus the full
+// (serialized) upstream merge cost. The estimates must come out
+// bit-identical either way; the speedup is the point of the tier.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/ldprand"
+	"repro/internal/task/freqtask"
+)
+
+// RelayTopology is one fan-in measurement: R relays feeding one
+// aggregator, charged max(per-relay ingest) + upstream merge.
+type RelayTopology struct {
+	Relays        int     `json:"relays"`
+	IngestSeconds float64 `json:"ingest_seconds"` // slowest relay's share
+	FlushSeconds  float64 `json:"flush_seconds"`  // cut + ship + upstream merge
+	Seconds       float64 `json:"seconds"`        // critical path: ingest + flush
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	Speedup       float64 `json:"speedup"` // vs the single node
+	Exact         bool    `json:"exact"`   // upstream estimates bit-identical
+}
+
+// RelaySummary is the structured E20 result embedded in -json output.
+type RelaySummary struct {
+	Users         int             `json:"users"`
+	Batch         int             `json:"batch"`
+	SingleSeconds float64         `json:"single_seconds"`
+	Topologies    []RelayTopology `json:"topologies"`
+}
+
+// relayExpCfg is the measured collection: GRR keeps per-report fold
+// cost realistic and the state integer-exact, so the fan-in equality
+// check is bitwise.
+func relayExpCfg() core.CollectionConfig {
+	return core.FreqCollectionConfig(core.MechanismGRR, core.PrivacyParams{Epsilon: 2, Domain: 64}, 2)
+}
+
+// relayExpBodies privatizes the whole population once and pre-marshals
+// the batch bodies, so the timed loops measure serving, not workload
+// generation.
+func relayExpBodies(seed uint64, users, batch int) ([][]byte, error) {
+	col := relayExpCfg()
+	client, err := core.NewClient(col.Mechanism, col.Params(), ldprand.NewSplitMix64(seed+20))
+	if err != nil {
+		return nil, err
+	}
+	src := ldprand.NewSplitMix64(seed + 21)
+	var bodies [][]byte
+	for done := 0; done < users; done += batch {
+		size := batch
+		if users-done < size {
+			size = users - done
+		}
+		envs := make([]json.RawMessage, size)
+		for i := range envs {
+			env, err := client.Report(ldprand.Intn(src, col.Domain))
+			if err != nil {
+				return nil, err
+			}
+			if envs[i], err = json.Marshal(env); err != nil {
+				return nil, err
+			}
+		}
+		body, err := json.Marshal(envs)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// relayExpPost ships one pre-marshalled batch and checks the ack.
+func relayExpPost(cl *http.Client, url, id string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", id)
+	resp, err := cl.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("experiments: batch %s: status %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+// relayExpCounts reads the exact debiased estimates out of a
+// collection's merged aggregator.
+func relayExpCounts(c *core.Collection) ([]float64, error) {
+	m, err := c.Aggregator().MergedCached()
+	if err != nil {
+		return nil, err
+	}
+	fa, ok := m.(*freqtask.Aggregator)
+	if !ok {
+		return nil, fmt.Errorf("experiments: aggregator is %T, want *freqtask.Aggregator", m)
+	}
+	return fa.Oracle().EstimateCounts(), nil
+}
+
+// relayExpUpstream boots a memory-only aggregation node serving the
+// measured collection over HTTP.
+func relayExpUpstream() (*core.Collection, *httptest.Server, error) {
+	reg := core.NewCollectionRegistry()
+	c, err := reg.Create("words", relayExpCfg())
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, httptest.NewServer(core.NewMultiService(reg, nil).Handler()), nil
+}
+
+// RelayFanIn measures single-node vs relay fan-in report/batch
+// throughput for each requested relay count. Exactness is asserted,
+// not sampled: a topology whose upstream estimates diverge from the
+// single node is an error, not a slow row.
+func RelayFanIn(cfg Config, relayCounts []int, batch int) (RelaySummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return RelaySummary{}, err
+	}
+	if batch < 1 {
+		return RelaySummary{}, fmt.Errorf("experiments: relay batch size %d", batch)
+	}
+	// The upstream merge cost per flush is near-constant, so a short
+	// stream measures overhead, not throughput: floor the population at
+	// 50k reports regardless of the suite's -users scale.
+	users := cfg.Users
+	if users < 50000 {
+		users = 50000
+	}
+	bodies, err := relayExpBodies(cfg.Seed, users, batch)
+	if err != nil {
+		return RelaySummary{}, err
+	}
+	cl := &http.Client{}
+
+	// Single node: every batch folds at the one aggregator.
+	singleC, singleTS, err := relayExpUpstream()
+	if err != nil {
+		return RelaySummary{}, err
+	}
+	defer singleTS.Close()
+	start := time.Now()
+	for i, body := range bodies {
+		if err := relayExpPost(cl, singleTS.URL+"/collections/words/report/batch", fmt.Sprintf("e20-%d", i), body); err != nil {
+			return RelaySummary{}, err
+		}
+	}
+	singleSec := time.Since(start).Seconds()
+	want, err := relayExpCounts(singleC)
+	if err != nil {
+		return RelaySummary{}, err
+	}
+
+	sum := RelaySummary{Users: users, Batch: batch, SingleSeconds: singleSec}
+	for _, relays := range relayCounts {
+		if relays < 1 || relays > len(bodies) {
+			return RelaySummary{}, fmt.Errorf("experiments: %d relays for %d batches", relays, len(bodies))
+		}
+		top, err := relayFanInOne(users, cl, bodies, relays, want, singleSec)
+		if err != nil {
+			return RelaySummary{}, err
+		}
+		sum.Topologies = append(sum.Topologies, top)
+	}
+	return sum, nil
+}
+
+// relayFanInOne runs one R-relay topology: each relay serially ingests
+// its strided share (its busy time), then every relay flushes into the
+// upstream (the merge tier's serialized busy time).
+func relayFanInOne(users int, cl *http.Client, bodies [][]byte, relays int, want []float64, singleSec float64) (RelayTopology, error) {
+	upC, upTS, err := relayExpUpstream()
+	if err != nil {
+		return RelayTopology{}, err
+	}
+	defer upTS.Close()
+	tmp, err := os.MkdirTemp("", "ldp-relayexp-")
+	if err != nil {
+		return RelayTopology{}, err
+	}
+	defer os.RemoveAll(tmp)
+
+	ctx := context.Background()
+	rs := make([]*cluster.Relay, relays)
+	servers := make([]*httptest.Server, relays)
+	for i := range rs {
+		out, err := cluster.NewOutbox(fsio.OS, filepath.Join(tmp, fmt.Sprintf("outbox-%d", i)))
+		if err != nil {
+			return RelayTopology{}, err
+		}
+		r := cluster.NewRelay(core.NewMultiService(core.NewCollectionRegistry(), nil), nil, cluster.NewUpstream(upTS.URL), out)
+		if err := r.SyncCollections(ctx); err != nil {
+			return RelayTopology{}, err
+		}
+		rs[i] = r
+		servers[i] = httptest.NewServer(r.Handler())
+		defer servers[i].Close()
+	}
+
+	// Ingest tier: relay i serially works its strided share; the
+	// topology is charged the slowest share, the parallel critical path.
+	var maxIngest float64
+	for i := range rs {
+		start := time.Now()
+		for j := i; j < len(bodies); j += relays {
+			if err := relayExpPost(cl, servers[i].URL+"/collections/words/report/batch", fmt.Sprintf("e20-%d", j), bodies[j]); err != nil {
+				return RelayTopology{}, err
+			}
+		}
+		if sec := time.Since(start).Seconds(); sec > maxIngest {
+			maxIngest = sec
+		}
+	}
+
+	// Merge tier: flushes contend on the one upstream, so their cost is
+	// summed, not maxed.
+	start := time.Now()
+	for i, r := range rs {
+		if err := r.Flush(ctx); err != nil {
+			return RelayTopology{}, fmt.Errorf("experiments: relay %d flush: %w", i, err)
+		}
+	}
+	flushSec := time.Since(start).Seconds()
+
+	got, err := relayExpCounts(upC)
+	if err != nil {
+		return RelayTopology{}, err
+	}
+	if !reflect.DeepEqual(got, want) {
+		return RelayTopology{}, fmt.Errorf("experiments: %d-relay fan-in estimates diverged from the single node", relays)
+	}
+	sec := maxIngest + flushSec
+	return RelayTopology{
+		Relays:        relays,
+		IngestSeconds: maxIngest,
+		FlushSeconds:  flushSec,
+		Seconds:       sec,
+		ReportsPerSec: float64(users) / sec,
+		Speedup:       singleSec / sec,
+		Exact:         true,
+	}, nil
+}
+
+// runE20 prints the fan-in table: single-node baseline plus each relay
+// topology's critical-path throughput and speedup.
+func runE20(w io.Writer, cfg Config) error {
+	const batch = 100
+	sum, err := RelayFanIn(cfg, []int{2, 4}, batch)
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "topology\tingest s\tmerge s\ttotal s\treports/s\tspeedup\texact")
+	fmt.Fprintf(tw, "single\t%.3f\t-\t%.3f\t%.0f\t1.00\tyes\n",
+		sum.SingleSeconds, sum.SingleSeconds, float64(sum.Users)/sum.SingleSeconds)
+	for _, top := range sum.Topologies {
+		fmt.Fprintf(tw, "%d relays\t%.3f\t%.3f\t%.3f\t%.0f\t%.2f\tyes\n",
+			top.Relays, top.IngestSeconds, top.FlushSeconds, top.Seconds, top.ReportsPerSec, top.Speedup)
+	}
+	return tw.Flush()
+}

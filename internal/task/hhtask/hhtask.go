@@ -400,6 +400,70 @@ func (a *Aggregator) AdoptPhase(from task.Aggregator) error {
 	return nil
 }
 
+// AdoptFrontier aligns the aggregator with a frontier published by
+// another process's collection (task.FrontierAdopter) — the relay-side
+// half of multi-node round coordination. The relay drops its own
+// (already-flushed) round accumulator and opens the published round
+// against the published survivors; because the candidate set is a
+// deterministic function of round and survivors, the relay then
+// freezes the same candidate vector as the upstream, so deltas cut
+// from it merge index-aligned and bit-identically.
+//
+// The frontier's published parameters must match the receiver's, and
+// its position must satisfy the same invariants UnmarshalState
+// enforces; anything else is an error leaving the receiver unchanged.
+func (a *Aggregator) AdoptFrontier(raw json.RawMessage) error {
+	var f Frontier
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("hhtask: bad frontier: %w", err)
+	}
+	if f.Mechanism != MechanismPEM {
+		return fmt.Errorf("hhtask: frontier mechanism %q does not match %q", f.Mechanism, MechanismPEM)
+	}
+	if f.Epsilon != a.params.Epsilon || f.Bits != a.params.Bits || f.Levels != a.params.Levels {
+		return fmt.Errorf("hhtask: frontier parameters (eps=%v bits=%d levels=%d) do not match aggregator (eps=%v bits=%d levels=%d)",
+			f.Epsilon, f.Bits, f.Levels, a.params.Epsilon, a.params.Bits, a.params.Levels)
+	}
+	if f.Round < 0 || f.Round > f.Levels {
+		return fmt.Errorf("hhtask: frontier round %d outside [0,%d]", f.Round, f.Levels)
+	}
+	if f.Done != (f.Round == f.Levels) {
+		return fmt.Errorf("hhtask: frontier done=%v inconsistent with round %d of %d levels", f.Done, f.Round, f.Levels)
+	}
+	wantBits := 0
+	if f.Round > 0 {
+		wantBits = a.params.PrefixLen(f.Round - 1)
+	}
+	if f.PrefixBits != wantBits {
+		return fmt.Errorf("hhtask: frontier prefix_bits %d, want %d at round %d", f.PrefixBits, wantBits, f.Round)
+	}
+	for i, p := range f.Prefixes {
+		if wantBits < 64 && p.Value >= 1<<uint(wantBits) {
+			return fmt.Errorf("hhtask: frontier prefix %d value %d exceeds %d bits", i, p.Value, wantBits)
+		}
+	}
+	if !f.Done {
+		// Bound the candidate set the adopted round would freeze, the
+		// same guard params() applies at creation: a hostile or corrupt
+		// frontier must not turn into an allocation storm at openRound.
+		grow := a.params.PrefixLen(f.Round) - wantBits
+		parents := 1
+		if f.Round > 0 {
+			parents = len(f.Prefixes)
+		}
+		if grow > maxRoundCandidatesLog2 || parents > maxRoundCandidates>>uint(grow) {
+			return fmt.Errorf("hhtask: frontier round %d would score %d×2^%d candidates, above the limit %d",
+				f.Round, parents, grow, maxRoundCandidates)
+		}
+	}
+	a.round, a.done = f.Round, f.Done
+	a.survivors = append([]Prefix(nil), f.Prefixes...)
+	a.hits = append([]Prefix(nil), f.Hits...)
+	a.prevUsers = 0
+	a.openRound()
+	return nil
+}
+
 // virgin reports whether the aggregator has never absorbed a report or
 // advanced a round — the state task.New returns, and the only state in
 // which Merge may adopt another aggregator's phase wholesale.

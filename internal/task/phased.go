@@ -62,3 +62,23 @@ type Phased interface {
 	// cumulative history lives in exactly one of them.
 	AdoptPhase(from Aggregator) error
 }
+
+// FrontierAdopter is an optional capability of Phased aggregators for
+// multi-node deployments: AdoptFrontier aligns the receiver with a
+// protocol position published by *another process* — the JSON frontier
+// an upstream aggregator serves on /frontier — rather than with a
+// local peer aggregator. A relay node mirrors its upstream's round
+// this way: it drops its own (already-flushed) round tallies and opens
+// the published round, after which its round validation and candidate
+// freezing agree with the upstream's bit for bit, so deltas cut from
+// the relay merge exactly.
+//
+// The frontier must describe the same task parameters as the receiver
+// (the published frontier carries them); anything else is an error
+// leaving the receiver unchanged. Callers must have drained or
+// flushed the receiver's current-round tallies first — AdoptFrontier
+// discards them, exactly like AdoptPhase.
+type FrontierAdopter interface {
+	Phased
+	AdoptFrontier(frontier json.RawMessage) error
+}
